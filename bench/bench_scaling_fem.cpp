@@ -1,0 +1,82 @@
+// Extension bench: the scaled-problem discussion at the end of Section 4.
+//
+// "if we keep the number of nodes per processor fixed and continue to add
+// processors up to a certain number, say n, the overhead for the
+// preconditioner will still be more than that for the CG method ...
+// however, as the number of processors increases beyond n, the value of
+// B/A in (4.2) will continue to decrease until m >= 4 steps of the
+// preconditioner will be optimal."
+//
+// We grow the plate with the processor count (fixed columns per processor),
+// measure the simulated time per m on the software-reduction machine and
+// on the sum/max-circuit machine (Section 5), and report the optimal m:
+// with the circuit, reductions stay cheap; without it the reduction cost
+// grows ~P, dots get relatively costlier, and deeper preconditioning wins.
+#include <iostream>
+#include <vector>
+
+#include "femsim/assignment.hpp"
+#include "femsim/dist_solver.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mstep;
+  util::Cli cli(argc, argv, {"cols-per-proc", "rows"});
+  const int cols_per_proc = cli.get_int("cols-per-proc", 3);
+  const int rows = cli.get_int("rows", 9);
+
+  std::cout << "== Scaled-problem study (Section 4 discussion) ==\n"
+               "fixed " << rows * cols_per_proc
+            << " nodes per processor, plate grows with P.\n\n";
+
+  util::Table t({"P", "N", "best m (software)", "T (software)",
+                 "best m (sum/max)", "T (sum/max)", "comm share"});
+
+  for (int p : {1, 2, 4, 8, 12}) {
+    const int ucols = cols_per_proc * p;
+    const fem::PlateMesh mesh(rows, ucols + 1);
+    const femsim::Assignment assign = femsim::column_strips(mesh, p);
+    const femsim::DistributedPlateSolver solver(
+        mesh, fem::Material{}, fem::EdgeLoad{1.0, 0.0}, assign);
+
+    auto best_of = [&](bool summax) {
+      int best_m = 0;
+      double best_t = 1e300;
+      for (int m : {0, 1, 2, 3, 4, 5, 6}) {
+        femsim::DistOptions opt;
+        opt.m = m;
+        opt.tolerance = 1e-6;
+        opt.costs.use_summax_circuit = summax;
+        const auto res = solver.solve(opt);
+        if (res.converged && res.simulated_seconds < best_t) {
+          best_t = res.simulated_seconds;
+          best_m = m;
+        }
+      }
+      return std::pair<int, double>{best_m, best_t};
+    };
+
+    const auto [m_soft, t_soft] = best_of(false);
+    const auto [m_hard, t_hard] = best_of(true);
+
+    // Reduction share of the software run at its best m.
+    femsim::DistOptions opt;
+    opt.m = m_soft;
+    opt.tolerance = 1e-6;
+    const auto res = solver.solve(opt);
+    const double comm_share =
+        res.max_comm_seconds / res.simulated_seconds;
+
+    t.add_row({util::Table::integer(p),
+               util::Table::integer(mesh.num_equations()),
+               util::Table::integer(m_soft), util::Table::fixed(t_soft, 2),
+               util::Table::integer(m_hard), util::Table::fixed(t_hard, 2),
+               util::Table::fixed(100.0 * comm_share, 1) + "%"});
+  }
+  t.print(std::cout, "optimal m vs processor count");
+  std::cout << "\nshape targets: optimal m tends to grow with P (small-m\n"
+               "runs are reduction-bound); the sum/max circuit keeps total\n"
+               "time lower once P > 2.\n";
+  return 0;
+}

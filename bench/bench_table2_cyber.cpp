@@ -1,0 +1,83 @@
+// Reproduces Table 2 of the paper: CYBER 203 iterations and timings of the
+// m-step SSOR PCG method on unit-square plane-stress plates with
+// a = 20, 41, 62, 80 rows of nodes, for m = 0..10 (P = parametrized).
+//
+// Iteration counts come from actually running the solver; times come from
+// the calibrated CYBER vector-timing model (see src/cyber/vector_model.hpp
+// and EXPERIMENTS.md).  Pass --quick for a reduced sweep used in CI.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cyber/table2_driver.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mstep;
+  util::Cli cli(argc, argv, {"quick", "tol"});
+
+  cyber::Table2Options opt;
+  opt.tolerance = cli.get_double("tol", 1e-4);
+  if (cli.has("quick")) {
+    opt.plate_sizes = {20, 41};
+    opt.max_m = 6;
+  }
+
+  std::cout << "== Table 2 reproduction ==\n"
+               "CYBER 203 iterations (I) and modelled seconds (T), m-step\n"
+               "SSOR PCG on the plane-stress plate.  mP rows use the\n"
+               "least-squares parameters, plain m rows use alpha = 1.\n"
+               "Paper shape targets: parametrized beats unparametrized at\n"
+               "equal m; time decreases with m through m ~ 8-10; payoff\n"
+               "grows with the vector length v ~ a^2/3.\n\n";
+
+  util::Timer timer;
+  const auto columns = cyber::run_table2(opt);
+
+  std::vector<std::string> header = {"m"};
+  for (const auto& col : columns) {
+    header.push_back("I(a=" + std::to_string(col.a) + ")");
+    header.push_back("T(a=" + std::to_string(col.a) + ")");
+  }
+  util::Table t(header);
+
+  std::string meta = "v (max vector length):";
+  for (const auto& col : columns) {
+    meta += " " + std::to_string(col.max_vector_len);
+  }
+
+  // All columns share the same row layout by construction.
+  const std::size_t nrows = columns.front().rows.size();
+  for (std::size_t r = 0; r < nrows; ++r) {
+    const auto& first = columns.front().rows[r];
+    std::vector<std::string> row = {
+        std::to_string(first.m) + (first.parametrized ? "P" : "")};
+    for (const auto& col : columns) {
+      const auto& cell = col.rows[r];
+      row.push_back(util::Table::integer(cell.iterations) +
+                    (cell.converged ? "" : "*"));
+      row.push_back(util::Table::fixed(cell.model_seconds, 3));
+    }
+    t.add_row(row);
+  }
+  t.print(std::cout, meta);
+
+  // Shape checks printed for the experiment log.
+  std::cout << "\nshape checks:\n";
+  for (const auto& col : columns) {
+    int best_m = 0;
+    double best_t = 1e300;
+    for (const auto& row : col.rows) {
+      if (row.model_seconds < best_t) {
+        best_t = row.model_seconds;
+        best_m = row.m;
+      }
+    }
+    std::cout << "  a=" << col.a << ": best m = " << best_m
+              << " (modelled " << best_t << " s)\n";
+  }
+  std::cout << "\n[harness wall time: " << timer.seconds() << " s]\n";
+  return 0;
+}

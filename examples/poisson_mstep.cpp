@@ -1,0 +1,74 @@
+// Finite-difference example: the generic multicolor machinery on a problem
+// that is NOT the paper's plate — the 5-point Poisson equation with a
+// red/black (two-colour) ordering, demonstrating Section 3's remark that
+// Algorithm 2 extends to any multicolour-ordered discretization.
+//
+// Solves -lap u = f with a manufactured solution and reports both solver
+// behaviour and discretization error.
+#include <cmath>
+#include <iostream>
+
+#include "color/coloring.hpp"
+#include "core/mstep.hpp"
+#include "core/multicolor_mstep.hpp"
+#include "core/params.hpp"
+#include "core/pcg.hpp"
+#include "fem/poisson.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mstep;
+  util::Cli cli(argc, argv, {"n", "m"});
+  const int n = cli.get_int("n", 48);
+  const int m = cli.get_int("m", 3);
+
+  const fem::PoissonProblem prob(n, n);
+  const auto a = prob.matrix();
+  const Vec f = prob.rhs([](double x, double y) {
+    return 2.0 * M_PI * M_PI * std::sin(M_PI * x) * std::sin(M_PI * y);
+  });
+  const Vec exact = prob.grid_function([](double x, double y) {
+    return std::sin(M_PI * x) * std::sin(M_PI * y);
+  });
+
+  // Two colours suffice for the 5-point stencil.
+  const auto cs = color::make_colored_system(a, color::two_color_classes(prob));
+  const Vec fc = cs.permute(f);
+
+  std::cout << "Poisson " << n << "x" << n << " grid, N = " << a.rows()
+            << ", red/black ordering, m = " << m << "\n\n";
+
+  core::PcgOptions opt;
+  opt.tolerance = 1e-8;
+
+  util::Table t({"method", "iterations", "inner products", "max error"});
+  auto report = [&](const std::string& name, const core::PcgResult& res) {
+    const Vec u = cs.unpermute(res.solution);
+    double err = 0.0;
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      err = std::max(err, std::abs(u[i] - exact[i]));
+    }
+    t.add_row({name, util::Table::integer(res.iterations),
+               util::Table::integer(res.inner_products),
+               util::Table::num(err, 3)});
+  };
+
+  report("plain CG", core::cg_solve(cs.matrix, fc, opt));
+  {
+    const core::MulticolorMStepSsor prec(cs, core::unparametrized_alphas(m));
+    report("m-step SSOR (alpha=1)",
+           core::pcg_solve(cs.matrix, fc, prec, opt));
+  }
+  {
+    const core::MulticolorMStepSsor prec(
+        cs, core::least_squares_alphas(m, core::ssor_interval()));
+    report("m-step SSOR (least-sq)",
+           core::pcg_solve(cs.matrix, fc, prec, opt));
+  }
+  t.print(std::cout);
+  std::cout << "\n(max error is against the continuum solution, so it is\n"
+               " discretization-limited at ~" << 1.0 / ((n + 1) * (n + 1))
+            << " — all methods agree)\n";
+  return 0;
+}

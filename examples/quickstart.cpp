@@ -1,0 +1,62 @@
+// Quickstart: solve the paper's plane-stress plate with the m-step
+// multicolor SSOR preconditioned conjugate gradient method.
+//
+//   1. mesh the plate and assemble K u = f,
+//   2. colour the equations (six colours) and permute the system,
+//   3. build the m-step preconditioner with the Table 1 parameters,
+//   4. run PCG (Algorithm 1) and report the solve.
+#include <iostream>
+
+#include "color/coloring.hpp"
+#include "core/multicolor_mstep.hpp"
+#include "core/params.hpp"
+#include "core/pcg.hpp"
+#include "fem/plane_stress.hpp"
+
+int main() {
+  using namespace mstep;
+
+  // A 30x30-node unit plate, clamped on the left edge, pulled to the right.
+  const fem::PlateMesh mesh = fem::PlateMesh::unit_square(30);
+  const fem::Material steel_like{1.0, 0.3, 1.0};
+  const auto sys =
+      fem::assemble_plane_stress(mesh, steel_like, fem::EdgeLoad{1.0, 0.0});
+  std::cout << "assembled: N = " << sys.stiffness.rows()
+            << " equations, nnz = " << sys.stiffness.nnz() << "\n";
+
+  // Six-colour ordering (Red/Black/Green x u/v) decouples each colour class.
+  const auto cs = color::make_colored_system(sys.stiffness,
+                                             color::six_color_classes(mesh));
+  const Vec f = cs.permute(sys.load);
+
+  // m = 4 steps of parametrized SSOR: the least-squares alphas of Table 1.
+  const int m = 4;
+  const auto alphas = core::least_squares_alphas(m, core::ssor_interval());
+  std::cout << "alphas (Table 1 row m=4):";
+  for (double a : alphas) std::cout << ' ' << a;
+  std::cout << '\n';
+
+  const core::MulticolorMStepSsor preconditioner(cs, alphas);
+  core::PcgOptions options;
+  options.tolerance = 1e-6;  // on |u^{k+1} - u^k|_inf
+
+  const auto result = core::pcg_solve(cs.matrix, f, preconditioner, options);
+  std::cout << "PCG converged: " << (result.converged ? "yes" : "no")
+            << " in " << result.iterations << " iterations ("
+            << result.inner_products << " inner products)\n"
+            << "final residual |f - Ku|_2 = " << result.final_residual2
+            << '\n';
+
+  // Compare against plain CG.
+  const auto plain = core::cg_solve(cs.matrix, f, options);
+  std::cout << "plain CG needs " << plain.iterations << " iterations ("
+            << plain.inner_products << " inner products)\n";
+
+  // Back to the mesh ordering: report the loaded-edge tip displacement.
+  const Vec u = cs.unpermute(result.solution);
+  const index_t tip =
+      mesh.equation_id(mesh.node_id(mesh.nrows() / 2, mesh.ncols() - 1), 0);
+  std::cout << "mid-edge x-displacement at the loaded edge: " << u[tip]
+            << '\n';
+  return result.converged ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+#include "color/greedy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mstep::color {
+
+std::vector<int> greedy_vertex_coloring(
+    const std::vector<std::vector<index_t>>& adjacency) {
+  const std::size_t n = adjacency.size();
+  std::vector<int> color(n, -1);
+  std::vector<char> used;
+  for (std::size_t v = 0; v < n; ++v) {
+    used.assign(used.size(), 0);
+    int max_needed = 0;
+    for (index_t w : adjacency[v]) {
+      if (color[w] >= 0) max_needed = std::max(max_needed, color[w] + 1);
+    }
+    used.assign(static_cast<std::size_t>(max_needed) + 1, 0);
+    for (index_t w : adjacency[v]) {
+      if (color[w] >= 0) used[color[w]] = 1;
+    }
+    int c = 0;
+    while (c < static_cast<int>(used.size()) && used[c]) ++c;
+    color[v] = c;
+  }
+  return color;
+}
+
+ColorClasses greedy_classes(const fem::TriMesh& mesh) {
+  const std::vector<int> node_color =
+      greedy_vertex_coloring(mesh.node_adjacency());
+  int ncolors = 0;
+  for (index_t node = 0; node < mesh.num_nodes(); ++node) {
+    if (!mesh.is_constrained(node)) {
+      ncolors = std::max(ncolors, node_color[node] + 1);
+    }
+  }
+  ColorClasses cc;
+  cc.classes.assign(static_cast<std::size_t>(2) * ncolors, {});
+  for (int g = 0; g < ncolors; ++g) {
+    for (int dof = 0; dof < 2; ++dof) {
+      auto& cls = cc.classes[2 * g + dof];
+      for (index_t node = 0; node < mesh.num_nodes(); ++node) {
+        if (mesh.is_constrained(node) || node_color[node] != g) continue;
+        cls.push_back(mesh.equation_id(node, dof));
+      }
+    }
+  }
+  // Drop empty classes (a colour may only appear on constrained nodes).
+  cc.classes.erase(
+      std::remove_if(cc.classes.begin(), cc.classes.end(),
+                     [](const std::vector<index_t>& c) { return c.empty(); }),
+      cc.classes.end());
+  return cc;
+}
+
+int greedy_color_count(const fem::TriMesh& mesh) {
+  const std::vector<int> node_color =
+      greedy_vertex_coloring(mesh.node_adjacency());
+  int ncolors = 0;
+  for (int c : node_color) ncolors = std::max(ncolors, c + 1);
+  return ncolors;
+}
+
+}  // namespace mstep::color

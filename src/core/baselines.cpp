@@ -1,0 +1,54 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+
+namespace mstep::core {
+
+namespace {
+
+/// Jacobi splitting scaled by 1/theta: P = D / theta, so
+/// G = I - theta D^{-1} K.  theta < 1 damps a Jacobi spectrum that reaches
+/// beyond 2 back into (0, 2), making the Neumann series convergent.
+class DampedJacobiSplitting : public split::Splitting {
+ public:
+  DampedJacobiSplitting(const la::CsrMatrix& k, double theta)
+      : inner_(k), theta_(theta) {}
+
+  [[nodiscard]] index_t size() const override { return inner_.size(); }
+  void apply_pinv(const Vec& x, Vec& y) const override {
+    inner_.apply_pinv(x, y);
+    for (auto& v : y) v *= theta_;
+  }
+  [[nodiscard]] std::string name() const override { return "damped-jacobi"; }
+
+ private:
+  split::JacobiSplitting inner_;
+  double theta_;
+};
+
+}  // namespace
+
+std::unique_ptr<Preconditioner> make_neumann_preconditioner(
+    const la::CsrMatrix& k, int m, KernelLog* log) {
+  const SpectrumInterval iv = jacobi_interval(k, /*safety=*/0.0);
+  if (iv.lambda_max > 1.95) {
+    const double theta = 1.9 / iv.lambda_max;
+    return std::make_unique<OwningMStepPreconditioner>(
+        k, std::make_unique<DampedJacobiSplitting>(k, theta),
+        unparametrized_alphas(m), log);
+  }
+  return std::make_unique<OwningMStepPreconditioner>(
+      k, std::make_unique<split::JacobiSplitting>(k),
+      unparametrized_alphas(m), log);
+}
+
+std::unique_ptr<Preconditioner> make_jmp_preconditioner(const la::CsrMatrix& k,
+                                                        int m,
+                                                        KernelLog* log) {
+  const SpectrumInterval iv = jacobi_interval(k);
+  return std::make_unique<OwningMStepPreconditioner>(
+      k, std::make_unique<split::JacobiSplitting>(k),
+      least_squares_alphas(m, iv), log);
+}
+
+}  // namespace mstep::core

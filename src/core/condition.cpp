@@ -1,0 +1,33 @@
+#include "core/condition.hpp"
+
+namespace mstep::core {
+
+ConditionEstimate estimate_preconditioned_condition(const la::CsrMatrix& k,
+                                                    const Preconditioner& m,
+                                                    int lanczos_steps) {
+  const la::LinOp a_op = [&](const Vec& x, Vec& y) { k.multiply(x, y); };
+  const la::LinOp minv = [&](const Vec& x, Vec& y) { m.apply(x, y); };
+  const la::SpectrumEstimate est = la::lanczos_extreme_preconditioned(
+      a_op, minv, k.rows(), lanczos_steps);
+  ConditionEstimate ce;
+  ce.lambda_min = est.lambda_min;
+  ce.lambda_max = est.lambda_max;
+  ce.kappa = est.lambda_min > 0 ? est.lambda_max / est.lambda_min : 0.0;
+  ce.lanczos_steps = est.lanczos_steps;
+  return ce;
+}
+
+ConditionEstimate estimate_condition(const la::CsrMatrix& k,
+                                     int lanczos_steps) {
+  const la::LinOp a_op = [&](const Vec& x, Vec& y) { k.multiply(x, y); };
+  const la::SpectrumEstimate est =
+      la::lanczos_extreme(a_op, k.rows(), lanczos_steps);
+  ConditionEstimate ce;
+  ce.lambda_min = est.lambda_min;
+  ce.lambda_max = est.lambda_max;
+  ce.kappa = est.lambda_min > 0 ? est.lambda_max / est.lambda_min : 0.0;
+  ce.lanczos_steps = est.lanczos_steps;
+  return ce;
+}
+
+}  // namespace mstep::core

@@ -1,0 +1,32 @@
+// Condition number estimation for preconditioned operators.
+//
+// Backs the Adams-1982 results quoted in Section 2.1: kappa of the
+// preconditioned system decreases as m increases, with the improvement
+// ratio bounded by m.  bench_condition_number sweeps m and reports
+// measured kappa(M_m^{-1} K) next to the prediction from the eigenvalue
+// map polynomial.
+#pragma once
+
+#include "core/preconditioner.hpp"
+#include "la/csr_matrix.hpp"
+#include "la/eigen.hpp"
+
+namespace mstep::core {
+
+struct ConditionEstimate {
+  double lambda_min = 0.0;
+  double lambda_max = 0.0;
+  double kappa = 0.0;
+  int lanczos_steps = 0;
+};
+
+/// Extreme eigenvalues and condition number of M^{-1} K estimated by
+/// preconditioned Lanczos (M-inner product; only M^{-1} applications used).
+[[nodiscard]] ConditionEstimate estimate_preconditioned_condition(
+    const la::CsrMatrix& k, const Preconditioner& m, int lanczos_steps = 80);
+
+/// Condition number of K itself (plain Lanczos).
+[[nodiscard]] ConditionEstimate estimate_condition(const la::CsrMatrix& k,
+                                                   int lanczos_steps = 120);
+
+}  // namespace mstep::core

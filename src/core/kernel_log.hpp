@@ -1,0 +1,84 @@
+// Kernel instrumentation interface.
+//
+// The solvers narrate their vector-operation stream through this interface;
+// the CYBER 203/205 model (src/cyber) turns the stream into predicted
+// seconds, and a CountingLog turns it into operation censuses for the
+// analytical model T_m = N_m (A + mB) of Section 4.
+#pragma once
+
+#include <cstdint>
+
+#include "la/vector.hpp"
+
+namespace mstep::core {
+
+/// Receives one callback per (logical) vector kernel executed by a solver.
+/// All methods have empty default bodies so implementations override only
+/// what they price.
+class KernelLog {
+ public:
+  virtual ~KernelLog() = default;
+
+  /// `count` elementwise vector operations (axpy/add/scale/copy) of length n.
+  virtual void vec_op(index_t n, int count = 1) { (void)n, (void)count; }
+
+  /// Inner product of length n — the expensive reduction on both machines.
+  virtual void dot_op(index_t n) { (void)n; }
+
+  /// Max-reduction of length n (the convergence test).
+  virtual void max_op(index_t n) { (void)n; }
+
+  /// Multiplication/division by a diagonal block of length n.
+  virtual void diag_op(index_t n) { (void)n; }
+
+  /// Sparse matrix-vector product executed as `ndiags` diagonal triads of
+  /// length `len` (the Madsen–Rodrigue–Karush kernel of Section 3.1).
+  virtual void spmv_diagonals(index_t len, int ndiags) {
+    (void)len, (void)ndiags;
+  }
+
+  /// Marks the end of one outer CG iteration (lets models attach
+  /// per-iteration overhead such as the convergence synchronisation).
+  virtual void end_iteration() {}
+
+  /// Marks the end of one preconditioner step (one of the m inner steps).
+  virtual void end_precond_step() {}
+};
+
+/// Counts operations and flops; used by tests and the eq.-(4.2) analysis.
+class CountingLog : public KernelLog {
+ public:
+  void vec_op(index_t n, int count) override {
+    vec_ops += count;
+    flops += static_cast<long long>(n) * count;
+  }
+  void dot_op(index_t n) override {
+    dots += 1;
+    flops += 2LL * n;
+  }
+  void max_op(index_t n) override {
+    maxes += 1;
+    flops += n;
+  }
+  void diag_op(index_t n) override {
+    diag_ops += 1;
+    flops += n;
+  }
+  void spmv_diagonals(index_t len, int ndiags) override {
+    spmvs += 1;
+    flops += 2LL * len * ndiags;
+  }
+  void end_iteration() override { iterations += 1; }
+  void end_precond_step() override { precond_steps += 1; }
+
+  long long vec_ops = 0;
+  long long dots = 0;
+  long long maxes = 0;
+  long long diag_ops = 0;
+  long long spmvs = 0;
+  long long iterations = 0;
+  long long precond_steps = 0;
+  long long flops = 0;
+};
+
+}  // namespace mstep::core

@@ -1,0 +1,139 @@
+#include "core/multicolor_mstep.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+namespace mstep::core {
+
+MulticolorMStepSsor::MulticolorMStepSsor(const color::ColoredSystem& cs,
+                                         std::vector<double> alphas,
+                                         KernelLog* log)
+    : cs_(&cs), alphas_(std::move(alphas)), log_(log),
+      splits_(color::compute_row_splits(cs)) {
+  if (alphas_.empty()) {
+    throw std::invalid_argument("MulticolorMStepSsor: need m >= 1");
+  }
+  const la::CsrMatrix& a = cs.matrix;
+  const int nc = cs.num_classes();
+  ndiags_lower_.assign(nc, 0);
+  ndiags_upper_.assign(nc, 0);
+
+  const auto& rp = a.row_ptr();
+  const auto& col = a.col_idx();
+  const auto& val = a.values();
+
+  for (int c = 0; c < nc; ++c) {
+    std::set<index_t> lower_offsets;
+    std::set<index_t> upper_offsets;
+    for (index_t i = cs.class_start[c]; i < cs.class_start[c + 1]; ++i) {
+      for (index_t u = rp[i]; u < splits_.lo_end[i]; ++u) {
+        if (val[u] != 0.0) lower_offsets.insert(col[u] - i);
+      }
+      for (index_t u = splits_.up_begin[i]; u < rp[i + 1]; ++u) {
+        if (val[u] != 0.0) upper_offsets.insert(col[u] - i);
+      }
+    }
+    ndiags_lower_[c] = static_cast<int>(lower_offsets.size());
+    ndiags_upper_[c] = static_cast<int>(upper_offsets.size());
+  }
+}
+
+double MulticolorMStepSsor::lower_sum(index_t i, const Vec& z) const {
+  const auto& rp = cs_->matrix.row_ptr();
+  const auto& col = cs_->matrix.col_idx();
+  const auto& val = cs_->matrix.values();
+  double s = 0.0;
+  for (index_t t = rp[i]; t < splits_.lo_end[i]; ++t) s -= val[t] * z[col[t]];
+  return s;
+}
+
+double MulticolorMStepSsor::upper_sum(index_t i, const Vec& z) const {
+  const auto& rp = cs_->matrix.row_ptr();
+  const auto& col = cs_->matrix.col_idx();
+  const auto& val = cs_->matrix.values();
+  double s = 0.0;
+  for (index_t t = splits_.up_begin[i]; t < rp[i + 1]; ++t) s -= val[t] * z[col[t]];
+  return s;
+}
+
+void MulticolorMStepSsor::apply(const Vec& r, Vec& z) const {
+  const index_t n = cs_->size();
+  assert(static_cast<index_t>(r.size()) == n);
+  const int m = static_cast<int>(alphas_.size());
+  const int nc = cs_->num_classes();
+
+  z.assign(n, 0.0);
+  y_.assign(n, 0.0);
+
+  auto log_class = [&](int c, bool lower) {
+    if (!log_) return;
+    const index_t len = cs_->class_size(c);
+    log_->spmv_diagonals(len, lower ? ndiags_lower_[c] : ndiags_upper_[c]);
+    log_->vec_op(len, 3);  // x + y + alpha*r fused adds
+    log_->diag_op(len);    // divide by D_c
+  };
+
+  for (int s = 1; s <= m; ++s) {
+    const double a = alphas_[m - s];
+    // Forward half-sweep.  For class 0 this doubles as the deferred
+    // backward update of the previous step (y holds its upper sums).
+    for (int c = 0; c < nc; ++c) {
+      for (index_t i = cs_->class_start[c]; i < cs_->class_start[c + 1];
+           ++i) {
+        const double xl = lower_sum(i, z);
+        z[i] = (xl + y_[i] + a * r[i]) / splits_.diag[i];
+        // The last class has no upper couplings: its "saved" value for the
+        // next use must be the (empty) upper sum, not the lower sum.
+        y_[i] = (c == nc - 1) ? 0.0 : xl;
+      }
+      log_class(c, /*lower=*/true);
+    }
+    // Backward half-sweep over classes nc-2 .. 1.  Class nc-1 is skipped
+    // (its backward value equals the forward value just computed); class 0
+    // is deferred (see below).
+    for (int c = nc - 2; c >= 1; --c) {
+      for (index_t i = cs_->class_start[c]; i < cs_->class_start[c + 1];
+           ++i) {
+        const double xu = upper_sum(i, z);
+        z[i] = (xu + y_[i] + a * r[i]) / splits_.diag[i];
+        y_[i] = xu;
+      }
+      log_class(c, /*lower=*/false);
+    }
+    // Class 0: save its upper sums; the solve is deferred to the next
+    // forward pass (inner steps) or the final solve below (last step).
+    for (index_t i = cs_->class_start[0]; i < cs_->class_start[1]; ++i) {
+      y_[i] = upper_sum(i, z);
+    }
+    if (log_) {
+      log_->spmv_diagonals(cs_->class_size(0), ndiags_upper_[0]);
+      log_->end_precond_step();
+    }
+  }
+  // Final deferred class-0 solve with alpha_0 — line (3) of Algorithm 2.
+  for (index_t i = cs_->class_start[0]; i < cs_->class_start[1]; ++i) {
+    z[i] = (y_[i] + alphas_[0] * r[i]) / splits_.diag[i];
+  }
+  if (log_) {
+    log_->vec_op(cs_->class_size(0), 2);
+    log_->diag_op(cs_->class_size(0));
+  }
+}
+
+std::string MulticolorMStepSsor::name() const {
+  return "multicolor-ssor-m" + std::to_string(alphas_.size());
+}
+
+long long MulticolorMStepSsor::offdiag_traversals_per_apply() const {
+  // Per step: all lower entries once (forward) + upper entries of classes
+  // nc-2..1 plus class 0 (backward).  Lower and upper entry totals are
+  // equal by symmetry; the last class has no upper entries, so the grand
+  // total per step is (nnz - n) * (1/2 + 1/2) = nnz - n traversals, i.e.
+  // one full off-diagonal traversal per symmetric sweep.
+  const long long offdiag = cs_->matrix.nnz() - cs_->size();
+  return offdiag * static_cast<long long>(alphas_.size());
+}
+
+}  // namespace mstep::core

@@ -1,0 +1,133 @@
+#include "core/pcg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mstep::core {
+
+PcgResult pcg_solve(const la::CsrMatrix& k, const Vec& f,
+                    const Preconditioner& m, const PcgOptions& options,
+                    KernelLog* log, const Vec& u0) {
+  const index_t n = k.rows();
+  if (static_cast<index_t>(f.size()) != n || m.size() != n) {
+    throw std::invalid_argument("pcg_solve: dimension mismatch");
+  }
+  const int ndiags =
+      log ? static_cast<int>(k.num_nonzero_diagonals()) : 0;
+
+  PcgResult res;
+  Vec u = u0.empty() ? Vec(n, 0.0) : u0;
+  if (static_cast<index_t>(u.size()) != n) {
+    throw std::invalid_argument("pcg_solve: bad initial guess size");
+  }
+
+  // r0 = f - K u0
+  Vec r(n);
+  k.residual(f, u, r);
+  if (log) {
+    log->spmv_diagonals(n, ndiags);
+    log->vec_op(n, 1);
+  }
+
+  // Already at the solution (e.g. zero right-hand side with a zero guess):
+  // report convergence without entering the loop, where the zero curvature
+  // p^T K p would otherwise read as a breakdown.
+  if (la::nrm2(r) == 0.0) {
+    res.converged = true;
+    res.solution = std::move(u);
+    return res;
+  }
+
+  // z0 = M^{-1} r0 ; p0 = z0
+  Vec z(n);
+  m.apply(r, z);
+  res.precond_applications++;
+  Vec p = z;
+  if (log) log->vec_op(n, 1);
+
+  double rho = la::dot(z, r);
+  if (log) log->dot_op(n);
+  res.inner_products++;
+
+  Vec w(n);
+  const double f_norm = la::nrm2(f);
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    // w = K p ; alpha = rho / (p, w)
+    k.multiply(p, w);
+    const double pw = la::dot(p, w);
+    if (log) {
+      log->spmv_diagonals(n, ndiags);
+      log->dot_op(n);
+    }
+    res.inner_products++;
+    if (pw <= 0.0) {
+      // Loss of positive definiteness (should not happen for SPD M, K).
+      res.converged = false;
+      break;
+    }
+    const double alpha = rho / pw;
+
+    // u^{k+1} = u^k + alpha p ; stopping quantity before overwriting.
+    double delta_inf = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      const double step = alpha * p[i];
+      u[i] += step;
+      delta_inf = std::max(delta_inf, std::abs(step));
+    }
+    if (log) {
+      log->vec_op(n, 1);
+      log->max_op(n);
+    }
+
+    // r^{k+1} = r^k - alpha w
+    la::axpy(-alpha, w, r);
+    if (log) log->vec_op(n, 1);
+
+    res.iterations = it + 1;
+    res.final_delta_inf = delta_inf;
+
+    bool stop = false;
+    if (options.stop_rule == StopRule::kDeltaInf) {
+      if (options.record_history) res.history.push_back(delta_inf);
+      stop = delta_inf < options.tolerance;
+    } else {
+      const double rn = la::nrm2(r);
+      res.final_residual2 = rn;
+      if (options.record_history) res.history.push_back(rn);
+      stop = rn < options.tolerance * (f_norm > 0 ? f_norm : 1.0);
+    }
+    if (log) log->end_iteration();
+    if (stop) {
+      res.converged = true;
+      break;
+    }
+
+    // z = M^{-1} r ; beta = rho_new / rho ; p = z + beta p
+    m.apply(r, z);
+    res.precond_applications++;
+    const double rho_new = la::dot(z, r);
+    if (log) log->dot_op(n);
+    res.inner_products++;
+    const double beta = rho_new / rho;
+    rho = rho_new;
+    la::xpay(z, beta, p);
+    if (log) log->vec_op(n, 1);
+  }
+
+  res.final_residual2 = [&] {
+    Vec rr(n);
+    k.residual(f, u, rr);
+    return la::nrm2(rr);
+  }();
+  res.solution = std::move(u);
+  return res;
+}
+
+PcgResult cg_solve(const la::CsrMatrix& k, const Vec& f,
+                   const PcgOptions& options, KernelLog* log, const Vec& u0) {
+  const IdentityPreconditioner ident(k.rows());
+  return pcg_solve(k, f, ident, options, log, u0);
+}
+
+}  // namespace mstep::core

@@ -1,0 +1,50 @@
+// Algorithm 1 of the paper: preconditioned conjugate gradients with the
+// |u^{k+1} - u^k|_inf stopping test.
+#pragma once
+
+#include <vector>
+
+#include "core/kernel_log.hpp"
+#include "core/preconditioner.hpp"
+#include "la/csr_matrix.hpp"
+
+namespace mstep::core {
+
+enum class StopRule {
+  kDeltaInf,    // |u^{k+1} - u^k|_inf < tol  (the paper's test)
+  kResidual2,   // ||r||_2 < tol * ||f||_2
+};
+
+struct PcgOptions {
+  int max_iterations = 20000;
+  double tolerance = 1e-4;
+  StopRule stop_rule = StopRule::kDeltaInf;
+  bool record_history = false;  // per-iteration stopping quantity
+};
+
+struct PcgResult {
+  Vec solution;
+  int iterations = 0;
+  bool converged = false;
+  double final_delta_inf = 0.0;
+  double final_residual2 = 0.0;
+  long long inner_products = 0;   // dot products executed
+  long long precond_applications = 0;
+  std::vector<double> history;
+};
+
+/// Solve K u = f with preconditioner M (Algorithm 1).  `u0` is the initial
+/// guess (zero if empty).  Instrumentation callbacks go to `log` when
+/// non-null.
+[[nodiscard]] PcgResult pcg_solve(const la::CsrMatrix& k, const Vec& f,
+                                  const Preconditioner& m,
+                                  const PcgOptions& options = {},
+                                  KernelLog* log = nullptr,
+                                  const Vec& u0 = {});
+
+/// Plain conjugate gradients (M = I, the paper's m = 0 baseline).
+[[nodiscard]] PcgResult cg_solve(const la::CsrMatrix& k, const Vec& f,
+                                 const PcgOptions& options = {},
+                                 KernelLog* log = nullptr, const Vec& u0 = {});
+
+}  // namespace mstep::core

@@ -1,0 +1,45 @@
+#include "core/planner.hpp"
+
+#include <stdexcept>
+
+namespace mstep::core {
+
+StepDecision prefer_m_plus_1(int m, int n_m, int n_m_plus_1,
+                             const StepCostModel& costs) {
+  if (m < 0 || n_m <= 0 || n_m_plus_1 <= 0) {
+    throw std::invalid_argument("prefer_m_plus_1: bad arguments");
+  }
+  StepDecision d;
+  d.right = costs.a_seconds > 0 ? costs.b_seconds / costs.a_seconds : 0.0;
+  const double denom =
+      static_cast<double>(n_m_plus_1) * (m + 1) - static_cast<double>(n_m) * m;
+  if (denom <= 0.0) {
+    // Criterion 1: the total number of inner loops decreases outright, so
+    // m+1 wins for any positive B.
+    d.criterion1 = true;
+    d.take_extra_step = true;
+    return d;
+  }
+  d.left = (static_cast<double>(n_m) - n_m_plus_1) / denom;
+  d.take_extra_step = d.left > d.right;
+  return d;
+}
+
+int optimal_steps(const std::vector<int>& iterations,
+                  const StepCostModel& costs) {
+  if (iterations.empty()) {
+    throw std::invalid_argument("optimal_steps: empty curve");
+  }
+  int best_m = 0;
+  double best_t = costs.predict(0, iterations[0]);
+  for (int m = 1; m < static_cast<int>(iterations.size()); ++m) {
+    const double t = costs.predict(m, iterations[m]);
+    if (t < best_t) {
+      best_t = t;
+      best_m = m;
+    }
+  }
+  return best_m;
+}
+
+}  // namespace mstep::core

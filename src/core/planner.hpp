@@ -1,0 +1,41 @@
+// Step-count planning — equations (4.1) and (4.2) of the paper as API.
+//
+// Given measured iteration counts N_m and the machine's cost decomposition
+// (A seconds per outer CG iteration, B per preconditioner step), predict
+// execution times and choose the optimal number of preconditioner steps.
+#pragma once
+
+#include <vector>
+
+namespace mstep::core {
+
+/// Cost model of eq. (4.1): T_m = N_m (A + m B).
+struct StepCostModel {
+  double a_seconds = 0.0;  // one outer CG iteration
+  double b_seconds = 0.0;  // one preconditioner step
+
+  [[nodiscard]] double predict(int m, int iterations) const {
+    return iterations * (a_seconds + m * b_seconds);
+  }
+};
+
+/// The two criteria of eq. (4.2) for preferring m+1 steps over m, given
+/// N_m and N_{m+1}:
+///   criterion 1: (m+1) N_{m+1} - m N_m < 0   (fewer total inner loops)
+///   criterion 2: (N_m - N_{m+1}) / (N_{m+1}(m+1) - N_m m) > B / A.
+struct StepDecision {
+  bool take_extra_step = false;
+  bool criterion1 = false;   // total inner loops decrease outright
+  double left = 0.0;         // left side of criterion 2 (when defined)
+  double right = 0.0;        // B / A
+};
+
+[[nodiscard]] StepDecision prefer_m_plus_1(int m, int n_m, int n_m_plus_1,
+                                           const StepCostModel& costs);
+
+/// Pick the optimal m from a measured iteration-count curve
+/// (iterations[m] for m = 0..M) under the eq. (4.1) model.
+[[nodiscard]] int optimal_steps(const std::vector<int>& iterations,
+                                const StepCostModel& costs);
+
+}  // namespace mstep::core

@@ -1,0 +1,66 @@
+#include "cyber/masked_layout.hpp"
+
+#include <algorithm>
+
+namespace mstep::cyber {
+
+MaskedLayout MaskedLayout::build(const fem::PlateMesh& mesh) {
+  MaskedLayout layout;
+  layout.slot_of_eq_.assign(mesh.num_equations(), -1);
+  layout.class_start_.push_back(0);
+
+  // Classes in the paper's order: colour-major (R, B, G), dof within.
+  for (int color = 0; color < 3; ++color) {
+    for (int dof = 0; dof < 2; ++dof) {
+      // "left to right, bottom to top" over ALL nodes of the colour.
+      for (int r = 0; r < mesh.nrows(); ++r) {
+        for (int c = 0; c < mesh.ncols(); ++c) {
+          const index_t node = mesh.node_id(r, c);
+          if (static_cast<int>(mesh.color(node)) != color) continue;
+          const index_t eq = mesh.equation_id(node, dof);
+          const index_t slot =
+              static_cast<index_t>(layout.eq_of_slot_.size());
+          layout.eq_of_slot_.push_back(eq);
+          layout.control_.push_back(eq >= 0 ? 1 : 0);
+          if (eq >= 0) layout.slot_of_eq_[eq] = slot;
+        }
+      }
+      layout.class_start_.push_back(
+          static_cast<index_t>(layout.eq_of_slot_.size()));
+    }
+  }
+  return layout;
+}
+
+index_t MaskedLayout::max_class_length() const {
+  index_t m = 0;
+  for (int k = 0; k < num_classes(); ++k) {
+    m = std::max(m, class_length(k));
+  }
+  return m;
+}
+
+Vec MaskedLayout::expand(const Vec& compressed) const {
+  Vec padded(eq_of_slot_.size(), 0.0);
+  for (std::size_t slot = 0; slot < eq_of_slot_.size(); ++slot) {
+    if (eq_of_slot_[slot] >= 0) padded[slot] = compressed[eq_of_slot_[slot]];
+  }
+  return padded;
+}
+
+Vec MaskedLayout::compress(const Vec& padded) const {
+  Vec out(slot_of_eq_.size());
+  for (std::size_t eq = 0; eq < slot_of_eq_.size(); ++eq) {
+    out[eq] = padded[slot_of_eq_[eq]];
+  }
+  return out;
+}
+
+double MaskedLayout::live_fraction() const {
+  std::size_t live = 0;
+  for (char c : control_) live += c;
+  return control_.empty() ? 0.0
+                          : static_cast<double>(live) / control_.size();
+}
+
+}  // namespace mstep::cyber

@@ -1,0 +1,70 @@
+// The CYBER storage layout of Section 3.1.
+//
+// "To achieve the maximum vector length ... the u equations at the Red
+// nodes (left to right, bottom to top) INCLUDING THE CONSTRAINED NODES are
+// numbered first, followed by the corresponding v equations ..., [which]
+// increases the vector length ...  Of course, the actual updating of the
+// storage locations corresponding to these constrained nodes is prohibited
+// by the control vector feature on this machine."
+//
+// This module builds that padded layout: six contiguous classes
+// (R-u, R-v, B-u, B-v, G-u, G-v) over ALL nodes of each colour, with a 0/1
+// control vector marking the live slots.  The padded class length is the
+// paper's "maximum vector length" v ~ a^2/3; the compressed layout (only
+// unconstrained equations) is what the rest of the library uses, and
+// expand()/compress() map between them.
+#pragma once
+
+#include <vector>
+
+#include "fem/plate_mesh.hpp"
+#include "la/vector.hpp"
+
+namespace mstep::cyber {
+
+class MaskedLayout {
+ public:
+  static MaskedLayout build(const fem::PlateMesh& mesh);
+
+  /// Total padded storage (2 x number of nodes).
+  [[nodiscard]] index_t padded_size() const {
+    return static_cast<index_t>(eq_of_slot_.size());
+  }
+  /// The paper's v: the longest (padded) class.
+  [[nodiscard]] index_t max_class_length() const;
+
+  [[nodiscard]] int num_classes() const {
+    return static_cast<int>(class_start_.size()) - 1;
+  }
+  [[nodiscard]] index_t class_length(int k) const {
+    return class_start_[k + 1] - class_start_[k];
+  }
+
+  /// Control vector: 1 for live (unconstrained) slots, 0 for suppressed.
+  [[nodiscard]] const std::vector<char>& control() const { return control_; }
+
+  /// Equation id stored at a padded slot; -1 for suppressed slots.
+  [[nodiscard]] index_t equation_at(index_t slot) const {
+    return eq_of_slot_[slot];
+  }
+  /// Padded slot of an equation id.
+  [[nodiscard]] index_t slot_of(index_t eq) const { return slot_of_eq_[eq]; }
+
+  /// Scatter a compressed (equation-indexed) vector into padded storage;
+  /// suppressed slots read 0.
+  [[nodiscard]] Vec expand(const Vec& compressed) const;
+  /// Gather padded storage back to the compressed vector.
+  [[nodiscard]] Vec compress(const Vec& padded) const;
+
+  /// Fraction of padded slots that are live — the efficiency the control
+  /// vector trades for contiguity.
+  [[nodiscard]] double live_fraction() const;
+
+ private:
+  std::vector<index_t> eq_of_slot_;
+  std::vector<index_t> slot_of_eq_;
+  std::vector<char> control_;
+  std::vector<index_t> class_start_;
+};
+
+}  // namespace mstep::cyber

@@ -1,0 +1,129 @@
+#include "cyber/table2_driver.hpp"
+
+#include "cyber/masked_layout.hpp"
+
+#include <algorithm>
+
+#include "color/coloring.hpp"
+#include "core/multicolor_mstep.hpp"
+#include "core/mstep.hpp"
+#include "core/params.hpp"
+#include "core/pcg.hpp"
+#include "fem/plane_stress.hpp"
+
+namespace mstep::cyber {
+
+namespace {
+
+struct ColoredPlate {
+  color::ColoredSystem cs;
+  Vec f;
+  index_t max_class = 0;
+};
+
+ColoredPlate build_plate(int a) {
+  const fem::PlateMesh mesh = fem::PlateMesh::unit_square(a);
+  auto sys = fem::assemble_plane_stress(mesh, fem::Material{},
+                                        fem::EdgeLoad{1.0, 0.0});
+  ColoredPlate p{color::make_colored_system(
+                     sys.stiffness, color::six_color_classes(mesh)),
+                 {}, 0};
+  p.f = p.cs.permute(sys.load);
+  // The paper's "maximum vector length" v counts the padded CYBER layout
+  // (constrained nodes numbered too, suppressed by control vectors).
+  p.max_class = MaskedLayout::build(mesh).max_class_length();
+  return p;
+}
+
+Table2Row run_one(const ColoredPlate& plate, int m, bool parametrized,
+                  double tolerance, const CyberParams& machine) {
+  CyberModel model(machine);
+  core::PcgOptions opt;
+  opt.tolerance = tolerance;
+
+  Table2Row row;
+  row.m = m;
+  row.parametrized = parametrized;
+
+  core::PcgResult res;
+  if (m == 0) {
+    res = core::cg_solve(plate.cs.matrix, plate.f, opt, &model);
+  } else {
+    const std::vector<double> alphas =
+        parametrized
+            ? core::least_squares_alphas(m, core::ssor_interval())
+            : core::unparametrized_alphas(m);
+    const core::MulticolorMStepSsor prec(plate.cs, alphas, &model);
+    res = core::pcg_solve(plate.cs.matrix, plate.f, prec, opt, &model);
+  }
+  row.iterations = res.iterations;
+  row.converged = res.converged;
+  row.model_seconds = model.seconds();
+  row.inner_products = res.inner_products;
+  return row;
+}
+
+}  // namespace
+
+std::vector<Table2Column> run_table2(const Table2Options& opt) {
+  std::vector<Table2Column> columns;
+  for (int a : opt.plate_sizes) {
+    const ColoredPlate plate = build_plate(a);
+    Table2Column col;
+    col.a = a;
+    col.n = plate.cs.size();
+    col.max_vector_len = plate.max_class;
+
+    col.rows.push_back(run_one(plate, 0, false, opt.tolerance, opt.machine));
+    for (int m = 1; m <= opt.max_m; ++m) {
+      if (m <= opt.both_variants_up_to) {
+        col.rows.push_back(
+            run_one(plate, m, false, opt.tolerance, opt.machine));
+      }
+      if (m >= 2) {
+        col.rows.push_back(
+            run_one(plate, m, true, opt.tolerance, opt.machine));
+      } else if (m == 1) {
+        // m = 1: parametrization is a pure scaling (no effect on CG), so the
+        // paper reports a single m = 1 row; already covered above.
+      }
+    }
+    columns.push_back(std::move(col));
+  }
+  return columns;
+}
+
+CostDecomposition measure_cost_decomposition(int plate_size,
+                                             const CyberParams& machine) {
+  // A: model seconds per outer iteration of plain CG.
+  // B: increment per preconditioner step, from two short preconditioned
+  // runs at m and m+1 clamped to the same iteration count.
+  const ColoredPlate plate = build_plate(plate_size);
+  core::PcgOptions opt;
+  opt.max_iterations = 5;
+  opt.tolerance = 0.0;  // force exactly max_iterations iterations
+
+  CyberModel model_a(machine);
+  (void)core::cg_solve(plate.cs.matrix, plate.f, opt, &model_a);
+  const double a_seconds = model_a.seconds() / opt.max_iterations;
+
+  const auto alphas2 = core::least_squares_alphas(2, core::ssor_interval());
+  const auto alphas3 = core::least_squares_alphas(3, core::ssor_interval());
+  CyberModel model2(machine);
+  CyberModel model3(machine);
+  {
+    const core::MulticolorMStepSsor p2(plate.cs, alphas2, &model2);
+    (void)core::pcg_solve(plate.cs.matrix, plate.f, p2, opt, &model2);
+  }
+  {
+    const core::MulticolorMStepSsor p3(plate.cs, alphas3, &model3);
+    (void)core::pcg_solve(plate.cs.matrix, plate.f, p3, opt, &model3);
+  }
+  // Each run does (max_iterations + 1) preconditioner applications (one
+  // initial); the difference per application is exactly one extra step.
+  const double b_seconds =
+      (model3.seconds() - model2.seconds()) / (opt.max_iterations + 1);
+  return {a_seconds, b_seconds};
+}
+
+}  // namespace mstep::cyber

@@ -1,0 +1,54 @@
+// Driver that reproduces Table 2: iterations and modelled CYBER seconds of
+// the m-step SSOR PCG method on the unit-square plane-stress plate, for a
+// sweep of m (parametrized and unparametrized) and plate sizes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cyber/vector_model.hpp"
+
+namespace mstep::cyber {
+
+struct Table2Row {
+  int m = 0;                 // preconditioner steps (0 = plain CG)
+  bool parametrized = false;  // least-squares alphas vs all-ones
+  int iterations = 0;
+  double model_seconds = 0.0;
+  bool converged = false;
+  long long inner_products = 0;
+};
+
+struct Table2Column {
+  int a = 0;                 // rows of nodes (paper: a = 20, 41, 62, 80)
+  index_t n = 0;             // system dimension 2 a (a-1)
+  index_t max_vector_len = 0;  // ~ a^2 / 3 (largest colour class)
+  std::vector<Table2Row> rows;
+};
+
+struct Table2Options {
+  std::vector<int> plate_sizes = {20, 41, 62, 80};
+  int max_m = 10;
+  /// m values below this run both parametrized and unparametrized; above,
+  /// only parametrized (matching the paper's "P" rows).
+  int both_variants_up_to = 3;
+  double tolerance = 1e-4;  // on |u(k+1) - u(k)|_inf
+  CyberParams machine;
+};
+
+/// Run the full sweep.  Iteration counts come from the actual solver; times
+/// from the CYBER model.
+[[nodiscard]] std::vector<Table2Column> run_table2(const Table2Options& opt);
+
+/// Per-iteration cost decomposition of eq. (4.1): A = seconds per outer CG
+/// iteration (everything except preconditioner steps), B = seconds per
+/// preconditioner step, measured from the model on one solve.
+struct CostDecomposition {
+  double a_seconds = 0.0;
+  double b_seconds = 0.0;
+};
+
+[[nodiscard]] CostDecomposition measure_cost_decomposition(
+    int plate_size, const CyberParams& machine);
+
+}  // namespace mstep::cyber

@@ -1,0 +1,101 @@
+// CYBER 203/205 vector performance model (hardware substitution).
+//
+// The paper times the method on a CDC CYBER 203 — a memory-to-memory vector
+// pipeline machine we obviously cannot run.  Section 3.1 gives the model's
+// anchor points: vector operations reach ~90% efficiency at length 1000,
+// ~50% at length 100 and ~10% at length 10.  That is exactly the classic
+// (n + n_1/2) pipeline law with half-performance length n_1/2 ~ 100:
+//
+//     t(n) = tau * (n + n_half),   efficiency e(n) = n / (n + n_half).
+//
+// Inner products carry an extra partial-sum phase ("the additions of the
+// partial sums make this operation considerably slower than the other
+// vector operations") modelled as a second, startup-heavy vector pass.
+//
+// The model consumes the solver's kernel stream (core::KernelLog) and
+// produces predicted seconds; iteration counts in Table 2 come from really
+// running the solver, only the clock is synthetic.
+#pragma once
+
+#include <string>
+
+#include "core/kernel_log.hpp"
+
+namespace mstep::cyber {
+
+struct CyberParams {
+  /// Seconds per vector element result (pipeline beat).  The CYBER 203
+  /// produced roughly one 64-bit result per 50 ns per pipe on triads.
+  double tau = 5.0e-8;
+  /// Half-performance vector length (Section 3.1's efficiency quotes).
+  double n_half = 100.0;
+  /// The inner-product partial-sum phase: an additional pass at `dot_tau`
+  /// per element with a large startup `dot_n_half` (log-depth interval
+  /// halving is startup-dominated).
+  double dot_tau = 5.0e-8;
+  double dot_n_half = 1500.0;
+  /// Scalar/control overhead charged per outer CG iteration and per
+  /// preconditioner step (loop control, scalar arithmetic for alpha/beta).
+  double iteration_overhead = 3.0e-5;
+  double step_overhead = 1.0e-5;
+
+  /// Pipeline efficiency at vector length n.
+  [[nodiscard]] double efficiency(index_t n) const {
+    return static_cast<double>(n) / (static_cast<double>(n) + n_half);
+  }
+};
+
+/// Accumulates predicted CYBER seconds from a kernel stream.
+class CyberModel : public core::KernelLog {
+ public:
+  explicit CyberModel(CyberParams params = {}) : p_(params) {}
+
+  void vec_op(index_t n, int count) override {
+    seconds_ += count * p_.tau * (n + p_.n_half);
+    vector_seconds_ += count * p_.tau * (n + p_.n_half);
+  }
+  void dot_op(index_t n) override {
+    const double t =
+        p_.tau * (n + p_.n_half) + p_.dot_tau * (n + p_.dot_n_half);
+    seconds_ += t;
+    dot_seconds_ += t;
+  }
+  void max_op(index_t n) override {
+    // Vector absolute value + compare: ordinary vector speed (Section 3.1:
+    // "the subtraction ... vectorizes and the absolute value is performed
+    // by the vector absolute value function").
+    seconds_ += p_.tau * (n + p_.n_half);
+    vector_seconds_ += p_.tau * (n + p_.n_half);
+  }
+  void diag_op(index_t n) override {
+    seconds_ += p_.tau * (n + p_.n_half);
+    vector_seconds_ += p_.tau * (n + p_.n_half);
+  }
+  void spmv_diagonals(index_t len, int ndiags) override {
+    // Madsen–Rodrigue–Karush: one triad per stored diagonal.
+    const double t = ndiags * p_.tau * (len + p_.n_half);
+    seconds_ += t;
+    spmv_seconds_ += t;
+  }
+  void end_iteration() override { seconds_ += p_.iteration_overhead; }
+  void end_precond_step() override { seconds_ += p_.step_overhead; }
+
+  [[nodiscard]] double seconds() const { return seconds_; }
+  [[nodiscard]] double dot_seconds() const { return dot_seconds_; }
+  [[nodiscard]] double vector_seconds() const { return vector_seconds_; }
+  [[nodiscard]] double spmv_seconds() const { return spmv_seconds_; }
+  [[nodiscard]] const CyberParams& params() const { return p_; }
+
+  void reset() {
+    seconds_ = dot_seconds_ = vector_seconds_ = spmv_seconds_ = 0.0;
+  }
+
+ private:
+  CyberParams p_;
+  double seconds_ = 0.0;
+  double dot_seconds_ = 0.0;
+  double vector_seconds_ = 0.0;
+  double spmv_seconds_ = 0.0;
+};
+
+}  // namespace mstep::cyber

@@ -1,0 +1,144 @@
+#include "fem/plane_stress.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace mstep::fem {
+
+la::DenseMatrix Material::constitutive() const {
+  const double e = youngs_modulus;
+  const double nu = poisson_ratio;
+  la::DenseMatrix d(3, 3);
+  const double factor = e / (1.0 - nu * nu);
+  d(0, 0) = factor;
+  d(0, 1) = factor * nu;
+  d(1, 0) = factor * nu;
+  d(1, 1) = factor;
+  d(2, 2) = factor * (1.0 - nu) / 2.0;
+  return d;
+}
+
+la::DenseMatrix cst_stiffness(const std::array<double, 3>& x,
+                              const std::array<double, 3>& y,
+                              const Material& mat) {
+  // Signed area: positive for counter-clockwise vertex order.
+  const double area2 = (x[1] - x[0]) * (y[2] - y[0]) -
+                       (x[2] - x[0]) * (y[1] - y[0]);
+  if (std::abs(area2) < 1e-300) {
+    throw std::invalid_argument("cst_stiffness: degenerate triangle");
+  }
+  const double area = 0.5 * std::abs(area2);
+
+  // Shape function gradients: b_i = y_j - y_k, c_i = x_k - x_j (cyclic).
+  std::array<double, 3> b{}, c{};
+  for (int i = 0; i < 3; ++i) {
+    const int j = (i + 1) % 3;
+    const int k = (i + 2) % 3;
+    b[i] = y[j] - y[k];
+    c[i] = x[k] - x[j];
+  }
+
+  la::DenseMatrix bm(3, 6);
+  for (int i = 0; i < 3; ++i) {
+    bm(0, 2 * i) = b[i];
+    bm(1, 2 * i + 1) = c[i];
+    bm(2, 2 * i) = c[i];
+    bm(2, 2 * i + 1) = b[i];
+  }
+  // B = (1 / 2A) * bm ; Ke = t A B^T D B = t / (4A) bm^T D bm.
+  const la::DenseMatrix d = mat.constitutive();
+  la::DenseMatrix ke = bm.transposed().multiply(d.multiply(bm));
+  const double scale = mat.thickness / (4.0 * area);
+  la::DenseMatrix out(6, 6);
+  for (index_t i = 0; i < 6; ++i)
+    for (index_t j = 0; j < 6; ++j) out(i, j) = scale * ke(i, j);
+  return out;
+}
+
+namespace {
+
+/// Shared assembly: adds every element contribution, mapping (node, dof) to
+/// an equation id through `eq_of`.  Entries whose row or column maps to -1
+/// (constrained) are dropped — equivalent to eliminating zero-displacement
+/// dofs.
+template <typename EqOf>
+void assemble_elements(const PlateMesh& mesh, const Material& mat,
+                       const EqOf& eq_of, la::CooBuilder& builder) {
+  for (const Triangle& tri : mesh.triangles()) {
+    const std::array<index_t, 3> nodes = {tri.n0, tri.n1, tri.n2};
+    std::array<double, 3> x{}, y{};
+    for (int i = 0; i < 3; ++i) {
+      x[i] = mesh.node_x(nodes[i]);
+      y[i] = mesh.node_y(nodes[i]);
+    }
+    const la::DenseMatrix ke = cst_stiffness(x, y, mat);
+    for (int i = 0; i < 3; ++i) {
+      for (int di = 0; di < 2; ++di) {
+        const index_t row = eq_of(nodes[i], di);
+        if (row < 0) continue;
+        for (int j = 0; j < 3; ++j) {
+          for (int dj = 0; dj < 2; ++dj) {
+            const index_t col = eq_of(nodes[j], dj);
+            if (col < 0) continue;
+            builder.add(row, col, ke(2 * i + di, 2 * j + dj));
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+AssembledSystem assemble_plane_stress(const PlateMesh& mesh,
+                                      const Material& mat,
+                                      const EdgeLoad& load) {
+  const index_t n = mesh.num_equations();
+  la::CooBuilder builder(n, n);
+  assemble_elements(
+      mesh, mat,
+      [&](index_t node, int dof) { return mesh.equation_id(node, dof); },
+      builder);
+
+  AssembledSystem sys{builder.build(), Vec(n, 0.0)};
+
+  // Consistent nodal loads for a uniform traction on the right edge
+  // (column ncols-1): interior edge nodes receive t * q * hy, the two corner
+  // nodes half of that.
+  const int c = mesh.ncols() - 1;
+  for (int r = 0; r < mesh.nrows(); ++r) {
+    const index_t node = mesh.node_id(r, c);
+    const double weight =
+        (r == 0 || r == mesh.nrows() - 1) ? 0.5 : 1.0;
+    const double scale = mat.thickness * mesh.hy() * weight;
+    const index_t eu = mesh.equation_id(node, 0);
+    const index_t ev = mesh.equation_id(node, 1);
+    if (eu >= 0) sys.load[eu] += scale * load.traction_x;
+    if (ev >= 0) sys.load[ev] += scale * load.traction_y;
+  }
+  return sys;
+}
+
+la::CsrMatrix assemble_free_stiffness(const PlateMesh& mesh,
+                                      const Material& mat) {
+  const index_t n = 2 * static_cast<index_t>(mesh.num_nodes());
+  la::CooBuilder builder(n, n);
+  assemble_elements(
+      mesh, mat,
+      [](index_t node, int dof) { return 2 * node + dof; }, builder);
+  return builder.build();
+}
+
+Vec displacement_magnitudes(const PlateMesh& mesh, const Vec& solution) {
+  Vec mags(mesh.num_nodes(), 0.0);
+  for (index_t node = 0; node < mesh.num_nodes(); ++node) {
+    const index_t eu = mesh.equation_id(node, 0);
+    const index_t ev = mesh.equation_id(node, 1);
+    if (eu < 0) continue;
+    mags[node] = std::hypot(solution[eu], solution[ev]);
+  }
+  return mags;
+}
+
+}  // namespace mstep::fem

@@ -1,0 +1,64 @@
+// Plane-stress finite element assembly on the triangular plate —
+// the paper's test problem (Section 3).
+//
+// Constant-strain triangles (linear basis functions) with two displacement
+// unknowns (u, v) per node.  The plate is clamped along its left edge and
+// loaded by a uniform traction along its right edge.  The assembled
+// stiffness matrix is symmetric positive definite with at most 14 nonzeros
+// per row (the Figure 2 stencil: the node itself plus six neighbours, two
+// dofs each).
+#pragma once
+
+#include "fem/plate_mesh.hpp"
+#include "la/csr_matrix.hpp"
+#include "la/dense_matrix.hpp"
+
+namespace mstep::fem {
+
+/// Isotropic plane-stress material.
+struct Material {
+  double youngs_modulus = 1.0;
+  double poisson_ratio = 0.3;
+  double thickness = 1.0;
+
+  /// 3x3 constitutive matrix D (sigma = D epsilon).
+  [[nodiscard]] la::DenseMatrix constitutive() const;
+};
+
+/// Uniform traction applied to the right edge of the plate.
+struct EdgeLoad {
+  double traction_x = 1.0;  // force per unit edge length, x direction
+  double traction_y = 0.0;  // force per unit edge length, y direction
+};
+
+/// 6x6 element stiffness of a constant-strain triangle with vertex
+/// coordinates (x[i], y[i]).  Dof order: u0, v0, u1, v1, u2, v2.
+[[nodiscard]] la::DenseMatrix cst_stiffness(const std::array<double, 3>& x,
+                                            const std::array<double, 3>& y,
+                                            const Material& mat);
+
+/// Assembled sparse system K u = f.
+struct AssembledSystem {
+  la::CsrMatrix stiffness;
+  Vec load;
+};
+
+/// Assemble the plane-stress system for the plate: clamped column 0,
+/// consistent edge load on column ncols-1.
+[[nodiscard]] AssembledSystem assemble_plane_stress(const PlateMesh& mesh,
+                                                    const Material& mat,
+                                                    const EdgeLoad& load);
+
+/// Assemble the stiffness matrix for a *fully free* plate (no boundary
+/// conditions; every node has two equations).  Used by tests: the free
+/// stiffness must be symmetric positive semi-definite with exactly three
+/// rigid-body null modes.
+[[nodiscard]] la::CsrMatrix assemble_free_stiffness(const PlateMesh& mesh,
+                                                    const Material& mat);
+
+/// Nodal displacement magnitudes |(u, v)| for a solution vector, indexed by
+/// node (constrained nodes report 0) — a convenience for the examples.
+[[nodiscard]] Vec displacement_magnitudes(const PlateMesh& mesh,
+                                          const Vec& solution);
+
+}  // namespace mstep::fem

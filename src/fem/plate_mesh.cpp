@@ -1,0 +1,78 @@
+#include "fem/plate_mesh.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mstep::fem {
+
+const char* color_name(Color3 c) {
+  switch (c) {
+    case Color3::kRed:
+      return "R";
+    case Color3::kBlack:
+      return "B";
+    case Color3::kGreen:
+      return "G";
+  }
+  return "?";
+}
+
+PlateMesh::PlateMesh(int nrows, int ncols, double width, double height)
+    : nrows_(nrows), ncols_(ncols),
+      hx_(width / (ncols - 1)), hy_(height / (nrows - 1)) {
+  if (nrows < 2 || ncols < 2) {
+    throw std::invalid_argument("PlateMesh: need at least a 2x2 node grid");
+  }
+}
+
+std::vector<Triangle> PlateMesh::triangles() const {
+  std::vector<Triangle> tris;
+  tris.reserve(2 * static_cast<std::size_t>(nrows_ - 1) * (ncols_ - 1));
+  for (int r = 0; r + 1 < nrows_; ++r) {
+    for (int c = 0; c + 1 < ncols_; ++c) {
+      tris.push_back({node_id(r, c), node_id(r, c + 1), node_id(r + 1, c)});
+      tris.push_back(
+          {node_id(r + 1, c), node_id(r, c + 1), node_id(r + 1, c + 1)});
+    }
+  }
+  return tris;
+}
+
+index_t PlateMesh::equation_id(index_t node, int dof) const {
+  if (is_constrained(node)) return -1;
+  const int r = node_row(node);
+  const int c = node_col(node);
+  const index_t unconstrained_index =
+      static_cast<index_t>(r) * (ncols_ - 1) + (c - 1);
+  return 2 * unconstrained_index + dof;
+}
+
+std::pair<index_t, int> PlateMesh::equation_node_dof(index_t eq) const {
+  const int dof = eq % 2;
+  const index_t idx = eq / 2;
+  const int r = idx / (ncols_ - 1);
+  const int c = idx % (ncols_ - 1) + 1;
+  return {node_id(r, c), dof};
+}
+
+std::vector<index_t> PlateMesh::neighbor_nodes(index_t node) const {
+  // With the down-right diagonal split, node (r, c) shares a triangle with
+  // (r, c±1), (r±1, c), (r-1, c+1) and (r+1, c-1): a six-point hexagonal
+  // neighbourhood.
+  static constexpr std::array<std::pair<int, int>, 6> kOffsets = {
+      {{0, -1}, {0, 1}, {-1, 0}, {1, 0}, {-1, 1}, {1, -1}}};
+  const int r = node_row(node);
+  const int c = node_col(node);
+  std::vector<index_t> out;
+  for (auto [dr, dc] : kOffsets) {
+    const int rr = r + dr;
+    const int cc = c + dc;
+    if (rr >= 0 && rr < nrows_ && cc >= 0 && cc < ncols_) {
+      out.push_back(node_id(rr, cc));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace mstep::fem

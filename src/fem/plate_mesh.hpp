@@ -1,0 +1,101 @@
+// Rectangular plate mesh with linear triangular elements and the
+// Red/Black/Green node colouring of Figure 1.
+//
+// The plate has `nrows` rows and `ncols` columns of nodes.  Column 0 is the
+// constrained (clamped) edge, so there are b = ncols - 1 columns of
+// unconstrained nodes and the stiffness system has dimension
+// N = 2 * nrows * (ncols - 1), matching the paper's "2ab".  Each grid cell
+// is split into two triangles along its down-right diagonal; the colouring
+// colour(r, c) = (r + 2c) mod 3 gives every triangle three distinct node
+// colours, which is what decouples same-colour equations (Section 3).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "la/vector.hpp"
+
+namespace mstep::fem {
+
+/// Node colour. The paper's Red/Black/Green.
+enum class Color3 : int { kRed = 0, kBlack = 1, kGreen = 2 };
+
+[[nodiscard]] const char* color_name(Color3 c);
+
+/// One linear triangle, by node ids.
+struct Triangle {
+  index_t n0, n1, n2;
+};
+
+class PlateMesh {
+ public:
+  /// nrows >= 2 rows of nodes, ncols >= 2 columns; the plate occupies
+  /// [0, width] x [0, height].
+  PlateMesh(int nrows, int ncols, double width = 1.0, double height = 1.0);
+
+  /// Square unit plate with `a` rows and `a` columns of nodes — the
+  /// configuration of Table 2 (b = a - 1 unconstrained columns).
+  static PlateMesh unit_square(int a) { return PlateMesh(a, a, 1.0, 1.0); }
+
+  [[nodiscard]] int nrows() const { return nrows_; }
+  [[nodiscard]] int ncols() const { return ncols_; }
+  [[nodiscard]] int num_nodes() const { return nrows_ * ncols_; }
+  [[nodiscard]] int num_unconstrained_columns() const { return ncols_ - 1; }
+
+  [[nodiscard]] double hx() const { return hx_; }
+  [[nodiscard]] double hy() const { return hy_; }
+
+  /// Node id for grid position (row r from the bottom, column c from the
+  /// left).
+  [[nodiscard]] index_t node_id(int r, int c) const {
+    return static_cast<index_t>(r) * ncols_ + c;
+  }
+  [[nodiscard]] int node_row(index_t node) const { return node / ncols_; }
+  [[nodiscard]] int node_col(index_t node) const { return node % ncols_; }
+
+  [[nodiscard]] double node_x(index_t node) const {
+    return node_col(node) * hx_;
+  }
+  [[nodiscard]] double node_y(index_t node) const {
+    return node_row(node) * hy_;
+  }
+
+  /// The clamped edge: column 0.
+  [[nodiscard]] bool is_constrained(index_t node) const {
+    return node_col(node) == 0;
+  }
+
+  /// R/B/G colour of a node (Figure 1).
+  [[nodiscard]] Color3 color(index_t node) const {
+    return static_cast<Color3>((node_row(node) + 2 * node_col(node)) % 3);
+  }
+
+  /// All triangles: each cell (r, c) contributes
+  /// {(r,c), (r,c+1), (r+1,c)} and {(r+1,c), (r,c+1), (r+1,c+1)}.
+  [[nodiscard]] std::vector<Triangle> triangles() const;
+
+  /// Equation id for (node, dof) with dof 0 = u (x-displacement) and
+  /// 1 = v (y-displacement); -1 for constrained nodes.  Equations are
+  /// numbered node-major in row-major node order — the "geometric" ordering
+  /// before any colour permutation.
+  [[nodiscard]] index_t equation_id(index_t node, int dof) const;
+
+  [[nodiscard]] index_t num_equations() const {
+    return 2 * static_cast<index_t>(nrows_) * (ncols_ - 1);
+  }
+
+  /// Inverse of equation_id: (node, dof) for an equation.
+  [[nodiscard]] std::pair<index_t, int> equation_node_dof(index_t eq) const;
+
+  /// Neighbour nodes sharing at least one triangle with `node` (the
+  /// Figure 2 stencil: six neighbours for interior nodes).
+  [[nodiscard]] std::vector<index_t> neighbor_nodes(index_t node) const;
+
+ private:
+  int nrows_;
+  int ncols_;
+  double hx_;
+  double hy_;
+};
+
+}  // namespace mstep::fem

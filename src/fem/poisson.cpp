@@ -1,0 +1,53 @@
+#include "fem/poisson.hpp"
+
+#include <stdexcept>
+
+namespace mstep::fem {
+
+PoissonProblem::PoissonProblem(int nx, int ny)
+    : nx_(nx), ny_(ny), hx_(1.0 / (nx + 1)), hy_(1.0 / (ny + 1)) {
+  if (nx < 1 || ny < 1) {
+    throw std::invalid_argument("PoissonProblem: need at least one point");
+  }
+}
+
+la::CsrMatrix PoissonProblem::matrix() const {
+  const index_t n = num_unknowns();
+  la::CooBuilder builder(n, n);
+  const double cx = 1.0 / (hx_ * hx_);
+  const double cy = 1.0 / (hy_ * hy_);
+  for (int j = 0; j < ny_; ++j) {
+    for (int i = 0; i < nx_; ++i) {
+      const index_t row = unknown_id(i, j);
+      builder.add(row, row, 2.0 * cx + 2.0 * cy);
+      if (i > 0) builder.add(row, unknown_id(i - 1, j), -cx);
+      if (i < nx_ - 1) builder.add(row, unknown_id(i + 1, j), -cx);
+      if (j > 0) builder.add(row, unknown_id(i, j - 1), -cy);
+      if (j < ny_ - 1) builder.add(row, unknown_id(i, j + 1), -cy);
+    }
+  }
+  return builder.build();
+}
+
+Vec PoissonProblem::rhs(const std::function<double(double, double)>& f) const {
+  Vec b(num_unknowns());
+  for (int j = 0; j < ny_; ++j) {
+    for (int i = 0; i < nx_; ++i) {
+      b[unknown_id(i, j)] = f(x_of(i), y_of(j));
+    }
+  }
+  return b;
+}
+
+Vec PoissonProblem::grid_function(
+    const std::function<double(double, double)>& u) const {
+  Vec v(num_unknowns());
+  for (int j = 0; j < ny_; ++j) {
+    for (int i = 0; i < nx_; ++i) {
+      v[unknown_id(i, j)] = u(x_of(i), y_of(j));
+    }
+  }
+  return v;
+}
+
+}  // namespace mstep::fem

@@ -1,0 +1,149 @@
+#include "fem/tri_mesh.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "fem/plane_stress.hpp"
+
+namespace mstep::fem {
+
+index_t TriMesh::add_node(double x, double y, bool constrained) {
+  if (num_equations_ >= 0) {
+    throw std::logic_error("TriMesh: add_node after finalize");
+  }
+  x_.push_back(x);
+  y_.push_back(y);
+  constrained_.push_back(constrained ? 1 : 0);
+  return static_cast<index_t>(x_.size()) - 1;
+}
+
+void TriMesh::add_triangle(index_t n0, index_t n1, index_t n2) {
+  if (num_equations_ >= 0) {
+    throw std::logic_error("TriMesh: add_triangle after finalize");
+  }
+  tris_.push_back({n0, n1, n2});
+}
+
+void TriMesh::finalize() {
+  if (num_equations_ >= 0) throw std::logic_error("TriMesh: double finalize");
+  eq_of_node_.assign(x_.size(), -1);
+  index_t next = 0;
+  for (index_t node = 0; node < num_nodes(); ++node) {
+    if (!constrained_[node]) {
+      eq_of_node_[node] = next;
+      node_of_eq_.push_back(node);
+      next += 2;
+    }
+  }
+  num_equations_ = next;
+}
+
+index_t TriMesh::equation_id(index_t node, int dof) const {
+  if (num_equations_ < 0) throw std::logic_error("TriMesh: not finalized");
+  const index_t base = eq_of_node_[node];
+  return base < 0 ? -1 : base + dof;
+}
+
+std::pair<index_t, int> TriMesh::equation_node_dof(index_t eq) const {
+  return {node_of_eq_[eq / 2], static_cast<int>(eq % 2)};
+}
+
+std::vector<std::vector<index_t>> TriMesh::node_adjacency() const {
+  std::vector<std::set<index_t>> adj(x_.size());
+  for (const Triangle& t : tris_) {
+    const index_t n[3] = {t.n0, t.n1, t.n2};
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        if (i != j) adj[n[i]].insert(n[j]);
+      }
+    }
+  }
+  std::vector<std::vector<index_t>> out(x_.size());
+  for (std::size_t i = 0; i < adj.size(); ++i) {
+    out[i].assign(adj[i].begin(), adj[i].end());
+  }
+  return out;
+}
+
+TriMesh TriMesh::from_plate(const PlateMesh& plate) {
+  TriMesh m;
+  for (index_t node = 0; node < plate.num_nodes(); ++node) {
+    m.add_node(plate.node_x(node), plate.node_y(node),
+               plate.is_constrained(node));
+  }
+  for (const Triangle& t : plate.triangles()) {
+    m.add_triangle(t.n0, t.n1, t.n2);
+  }
+  m.finalize();
+  return m;
+}
+
+TriMesh TriMesh::l_shape(int n) {
+  if (n < 1) throw std::invalid_argument("l_shape: n >= 1");
+  const int side = 2 * n + 1;
+  const double h = 1.0 / (2 * n);
+  TriMesh m;
+  std::vector<index_t> id(static_cast<std::size_t>(side) * side, -1);
+  auto keep = [&](int r, int c) { return r <= n || c <= n; };
+  for (int r = 0; r < side; ++r) {
+    for (int c = 0; c < side; ++c) {
+      if (!keep(r, c)) continue;
+      id[static_cast<std::size_t>(r) * side + c] =
+          m.add_node(c * h, r * h, /*constrained=*/c == 0);
+    }
+  }
+  auto at = [&](int r, int c) {
+    return id[static_cast<std::size_t>(r) * side + c];
+  };
+  for (int r = 0; r + 1 < side; ++r) {
+    for (int c = 0; c + 1 < side; ++c) {
+      if (!(keep(r, c) && keep(r, c + 1) && keep(r + 1, c) &&
+            keep(r + 1, c + 1))) {
+        continue;
+      }
+      m.add_triangle(at(r, c), at(r, c + 1), at(r + 1, c));
+      m.add_triangle(at(r + 1, c), at(r, c + 1), at(r + 1, c + 1));
+    }
+  }
+  m.finalize();
+  return m;
+}
+
+la::CsrMatrix assemble_plane_stress(const TriMesh& mesh, const Material& mat) {
+  const index_t n = mesh.num_equations();
+  la::CooBuilder builder(n, n);
+  for (const Triangle& tri : mesh.triangles()) {
+    const std::array<index_t, 3> nodes = {tri.n0, tri.n1, tri.n2};
+    std::array<double, 3> x{}, y{};
+    for (int i = 0; i < 3; ++i) {
+      x[i] = mesh.node_x(nodes[i]);
+      y[i] = mesh.node_y(nodes[i]);
+    }
+    const la::DenseMatrix ke = cst_stiffness(x, y, mat);
+    for (int i = 0; i < 3; ++i) {
+      for (int di = 0; di < 2; ++di) {
+        const index_t row = mesh.equation_id(nodes[i], di);
+        if (row < 0) continue;
+        for (int j = 0; j < 3; ++j) {
+          for (int dj = 0; dj < 2; ++dj) {
+            const index_t col = mesh.equation_id(nodes[j], dj);
+            if (col < 0) continue;
+            builder.add(row, col, ke(2 * i + di, 2 * j + dj));
+          }
+        }
+      }
+    }
+  }
+  return builder.build();
+}
+
+void add_point_load(const TriMesh& mesh, index_t node, double fx, double fy,
+                    Vec& f) {
+  const index_t eu = mesh.equation_id(node, 0);
+  const index_t ev = mesh.equation_id(node, 1);
+  if (eu >= 0) f[eu] += fx;
+  if (ev >= 0) f[ev] += fy;
+}
+
+}  // namespace mstep::fem

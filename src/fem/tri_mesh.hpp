@@ -1,0 +1,86 @@
+// General (irregular) triangulated domains.
+//
+// Section 5 of the paper: "A problem still remains in applying the method
+// to irregular regions since the grid must be colored and for array
+// machines must also be distributed to the processors in light of this
+// coloring."  This module supplies the missing piece for the colouring
+// half: an unstructured triangle mesh with arbitrary constrained nodes,
+// assembled with the same CST plane-stress elements, and coloured by the
+// greedy algorithm in color/greedy.hpp.  The L-shaped plate builder is the
+// canonical irregular test domain.
+#pragma once
+
+#include <vector>
+
+#include "fem/plate_mesh.hpp"
+#include "fem/plane_stress.hpp"
+#include "la/csr_matrix.hpp"
+
+namespace mstep::fem {
+
+/// Unstructured triangle mesh with two displacement dofs per node.
+/// Populate nodes/triangles/constraints, then finalize() to number the
+/// equations (node-major over unconstrained nodes, in node-id order).
+class TriMesh {
+ public:
+  /// Add a node at (x, y); returns its id.
+  index_t add_node(double x, double y, bool constrained = false);
+
+  /// Add a triangle by node ids (counter-clockwise).
+  void add_triangle(index_t n0, index_t n1, index_t n2);
+
+  /// Number the equations.  Must be called once after construction.
+  void finalize();
+
+  [[nodiscard]] index_t num_nodes() const {
+    return static_cast<index_t>(x_.size());
+  }
+  [[nodiscard]] index_t num_equations() const { return num_equations_; }
+  [[nodiscard]] const std::vector<Triangle>& triangles() const {
+    return tris_;
+  }
+
+  [[nodiscard]] double node_x(index_t node) const { return x_[node]; }
+  [[nodiscard]] double node_y(index_t node) const { return y_[node]; }
+  [[nodiscard]] bool is_constrained(index_t node) const {
+    return constrained_[node] != 0;
+  }
+
+  /// Equation id of (node, dof in {0, 1}); -1 for constrained nodes.
+  [[nodiscard]] index_t equation_id(index_t node, int dof) const;
+
+  /// Inverse: (node, dof) of an equation id.
+  [[nodiscard]] std::pair<index_t, int> equation_node_dof(index_t eq) const;
+
+  /// Node adjacency (nodes sharing a triangle), sorted, without self.
+  [[nodiscard]] std::vector<std::vector<index_t>> node_adjacency() const;
+
+  // --- builders -------------------------------------------------------------
+
+  /// Copy of a rectangular plate as an unstructured mesh (for tests:
+  /// everything that works on PlateMesh must work on its TriMesh copy).
+  static TriMesh from_plate(const PlateMesh& plate);
+
+  /// L-shaped plate: a (2n+1)x(2n+1) node grid with the upper-right
+  /// quadrant removed, clamped along the left edge, unit cell size 1/(2n).
+  static TriMesh l_shape(int n);
+
+ private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+  std::vector<char> constrained_;
+  std::vector<Triangle> tris_;
+  std::vector<index_t> eq_of_node_;  // first equation of each node; -1
+  std::vector<index_t> node_of_eq_;  // eq -> node (per dof pair)
+  index_t num_equations_ = -1;
+};
+
+/// Assemble the plane-stress stiffness for an unstructured mesh.
+[[nodiscard]] la::CsrMatrix assemble_plane_stress(const TriMesh& mesh,
+                                                  const Material& mat);
+
+/// Nodal point load: f[eq(node, 0)] += fx, f[eq(node, 1)] += fy.
+void add_point_load(const TriMesh& mesh, index_t node, double fx, double fy,
+                    Vec& f);
+
+}  // namespace mstep::fem

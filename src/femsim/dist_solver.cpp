@@ -1,0 +1,325 @@
+#include "femsim/dist_solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "core/mstep.hpp"
+#include "core/params.hpp"
+
+namespace mstep::femsim {
+
+DistributedPlateSolver::DistributedPlateSolver(const fem::PlateMesh& mesh,
+                                               const fem::Material& mat,
+                                               const fem::EdgeLoad& load,
+                                               const Assignment& assignment) {
+  auto sys = fem::assemble_plane_stress(mesh, mat, load);
+  cs_ = color::make_colored_system(sys.stiffness,
+                                   color::six_color_classes(mesh));
+  f_colored_ = cs_.permute(sys.load);
+  splits_ = color::compute_row_splits(cs_);
+
+  // Owner of every (colored-ordering) equation, from the node assignment.
+  std::vector<int> owner(cs_.size(), -1);
+  for (index_t old_eq = 0; old_eq < cs_.size(); ++old_eq) {
+    const auto [node, dof] = mesh.equation_node_dof(old_eq);
+    (void)dof;
+    owner[cs_.inv_perm[old_eq]] = assignment.proc_of_node[node];
+  }
+  build_proc_data(owner, assignment.nprocs);
+}
+
+DistributedPlateSolver::DistributedPlateSolver(
+    color::ColoredSystem cs, Vec f_colored,
+    const std::vector<int>& owner_of_eq, int nprocs)
+    : cs_(std::move(cs)), f_colored_(std::move(f_colored)) {
+  splits_ = color::compute_row_splits(cs_);
+  build_proc_data(owner_of_eq, nprocs);
+}
+
+void DistributedPlateSolver::build_proc_data(
+    const std::vector<int>& owner, int nprocs) {
+  const int nc = cs_.num_classes();
+  const index_t n = cs_.size();
+
+  if (static_cast<index_t>(owner.size()) != n) {
+    throw std::invalid_argument("build_proc_data: bad owner map size");
+  }
+  for (index_t i = 0; i < n; ++i) {
+    if (owner[i] < 0 || owner[i] >= nprocs) {
+      throw std::invalid_argument("build_proc_data: unassigned equation");
+    }
+  }
+
+  // Class of every equation.
+  std::vector<int> cls(n);
+  for (int c = 0; c < nc; ++c) {
+    for (index_t i = cs_.class_start[c]; i < cs_.class_start[c + 1]; ++i) {
+      cls[i] = c;
+    }
+  }
+
+  pdata_.assign(nprocs, {});
+  for (auto& pd : pdata_) {
+    pd.owned_by_class.assign(nc, {});
+    pd.nnz_lower.assign(nc, 0);
+    pd.nnz_upper.assign(nc, 0);
+  }
+
+  const auto& rp = cs_.matrix.row_ptr();
+  const auto& col = cs_.matrix.col_idx();
+
+  // Needs[p][q][class]: ghost ids processor p needs from q, per class.
+  std::vector<std::map<int, std::vector<std::set<index_t>>>> needs(nprocs);
+
+  for (index_t i = 0; i < n; ++i) {
+    const int p = owner[i];
+    ProcData& pd = pdata_[p];
+    pd.owned_by_class[cls[i]].push_back(i);
+    pd.owned.push_back(i);
+    pd.nnz_owned += rp[i + 1] - rp[i];
+    pd.nnz_lower[cls[i]] += splits_.lo_end[i] - rp[i];
+    pd.nnz_upper[cls[i]] += rp[i + 1] - splits_.up_begin[i];
+    for (index_t t = rp[i]; t < rp[i + 1]; ++t) {
+      const index_t j = col[t];
+      const int q = owner[j];
+      if (q == p) continue;
+      auto [it, inserted] = needs[p].try_emplace(q);
+      if (inserted) it->second.assign(nc, {});
+      it->second[cls[j]].insert(j);
+    }
+  }
+
+  for (int p = 0; p < nprocs; ++p) {
+    ProcData& pd = pdata_[p];
+    for (const auto& [q, ghost_sets] : needs[p]) {
+      pd.neighbors.push_back(q);
+      // recv from q: what I need.  send to q: what q needs from me.
+      std::vector<std::vector<index_t>> recv(nc), send(nc);
+      for (int c = 0; c < nc; ++c) {
+        recv[c].assign(ghost_sets[c].begin(), ghost_sets[c].end());
+        const auto it_q = needs[q].find(p);
+        if (it_q != needs[q].end()) {
+          send[c].assign(it_q->second[c].begin(), it_q->second[c].end());
+        }
+      }
+      pd.recv_ids.push_back(std::move(recv));
+      pd.send_ids.push_back(std::move(send));
+    }
+  }
+}
+
+DistResult DistributedPlateSolver::solve(const DistOptions& options) const {
+  return solve_with_traffic(options, nullptr);
+}
+
+DistResult DistributedPlateSolver::solve_with_traffic(
+    const DistOptions& options,
+    std::vector<std::vector<long long>>* traffic) const {
+  const int nprocs = static_cast<int>(pdata_.size());
+  const index_t n = cs_.size();
+  const int nc = cs_.num_classes();
+  const int m = options.m;
+  const std::vector<double> alphas =
+      m == 0 ? std::vector<double>{}
+             : (options.parametrized
+                    ? core::least_squares_alphas(m, core::ssor_interval())
+                    : core::unparametrized_alphas(m));
+
+  Machine machine(nprocs, options.costs);
+
+  // Shared outputs, disjointly written by the processors.
+  Vec global_u(n, 0.0);
+  std::vector<int> iter_of(nprocs, 0);
+  std::vector<char> conv_of(nprocs, 0);
+
+  const auto& a = cs_.matrix;
+  const auto& rp = a.row_ptr();
+  const auto& col = a.col_idx();
+  const auto& val = a.values();
+
+  auto program = [&](Proc& proc) {
+    const ProcData& pd = pdata_[proc.rank()];
+    const int nnbr = static_cast<int>(pd.neighbors.size());
+
+    // Full-length workspaces; only owned + ghost entries are meaningful.
+    Vec u(n, 0.0), r(n, 0.0), z(n, 0.0), p(n, 0.0), w(n, 0.0), y(n, 0.0);
+
+    // --- helpers ----------------------------------------------------------
+    auto exchange_classes = [&](Vec& v, int c_first, int c_second, int tag) {
+      for (int b = 0; b < nnbr; ++b) {
+        std::vector<double> payload;
+        payload.reserve(pd.send_ids[b][c_first].size() +
+                        pd.send_ids[b][c_second].size());
+        for (index_t id : pd.send_ids[b][c_first]) payload.push_back(v[id]);
+        for (index_t id : pd.send_ids[b][c_second]) payload.push_back(v[id]);
+        proc.send(pd.neighbors[b], tag, std::move(payload));
+      }
+      for (int b = 0; b < nnbr; ++b) {
+        const std::vector<double> data = proc.recv(pd.neighbors[b], tag);
+        std::size_t k = 0;
+        for (index_t id : pd.recv_ids[b][c_first]) v[id] = data[k++];
+        for (index_t id : pd.recv_ids[b][c_second]) v[id] = data[k++];
+      }
+    };
+    auto exchange_all = [&](Vec& v, int tag) {
+      for (int b = 0; b < nnbr; ++b) {
+        std::vector<double> payload;
+        for (int c = 0; c < nc; ++c) {
+          for (index_t id : pd.send_ids[b][c]) payload.push_back(v[id]);
+        }
+        proc.send(pd.neighbors[b], tag, std::move(payload));
+      }
+      for (int b = 0; b < nnbr; ++b) {
+        const std::vector<double> data = proc.recv(pd.neighbors[b], tag);
+        std::size_t k = 0;
+        for (int c = 0; c < nc; ++c) {
+          for (index_t id : pd.recv_ids[b][c]) v[id] = data[k++];
+        }
+      }
+    };
+    auto lower_sum = [&](index_t i, const Vec& v) {
+      double s = 0.0;
+      for (index_t t = rp[i]; t < splits_.lo_end[i]; ++t) s -= val[t] * v[col[t]];
+      return s;
+    };
+    auto upper_sum = [&](index_t i, const Vec& v) {
+      double s = 0.0;
+      for (index_t t = splits_.up_begin[i]; t < rp[i + 1]; ++t) {
+        s -= val[t] * v[col[t]];
+      }
+      return s;
+    };
+    auto local_dot = [&](const Vec& x, const Vec& yv) {
+      double s = 0.0;
+      for (index_t i : pd.owned) s += x[i] * yv[i];
+      proc.compute(2 * static_cast<long long>(pd.owned.size()));
+      return s;
+    };
+
+    // Algorithm 3: z = M^{-1} r with the Conrad–Wallach auxiliary vector
+    // and per-geometric-colour border exchanges.
+    auto precond = [&](const Vec& rv, Vec& zv, Vec& yv) {
+      if (m == 0) {
+        for (index_t i : pd.owned) zv[i] = rv[i];
+        proc.compute(static_cast<long long>(pd.owned.size()));
+        return;
+      }
+      std::fill(zv.begin(), zv.end(), 0.0);
+      for (index_t i : pd.owned) yv[i] = 0.0;
+      for (int s = 1; s <= m; ++s) {
+        const double as = alphas[m - s];
+        // Forward half-sweep.
+        for (int c = 0; c < nc; ++c) {
+          for (index_t i : pd.owned_by_class[c]) {
+            const double xl = lower_sum(i, zv);
+            zv[i] = (xl + yv[i] + as * rv[i]) / splits_.diag[i];
+            yv[i] = (c == nc - 1) ? 0.0 : xl;
+          }
+          proc.compute(2 * pd.nnz_lower[c] +
+                       4 * static_cast<long long>(pd.owned_by_class[c].size()));
+          if (c % 2 == 1) exchange_classes(zv, c - 1, c, /*tag=*/10 + c);
+        }
+        // Backward half-sweep (classes nc-2 .. 1; last skipped, first
+        // deferred).  Border shipping after classes 4 and 2 keeps every
+        // ghost fresh exactly when it is read (see header).
+        for (int c = nc - 2; c >= 1; --c) {
+          for (index_t i : pd.owned_by_class[c]) {
+            const double xu = upper_sum(i, zv);
+            zv[i] = (xu + yv[i] + as * rv[i]) / splits_.diag[i];
+            yv[i] = xu;
+          }
+          proc.compute(2 * pd.nnz_upper[c] +
+                       4 * static_cast<long long>(pd.owned_by_class[c].size()));
+          if (c % 2 == 0) exchange_classes(zv, c + 1, c, /*tag=*/20 + c);
+        }
+        // Save the first class's upper sums (solve deferred).
+        for (index_t i : pd.owned_by_class[0]) yv[i] = upper_sum(i, zv);
+        proc.compute(2 * pd.nnz_upper[0]);
+      }
+      // Final deferred first-class solve with alpha_0.
+      for (index_t i : pd.owned_by_class[0]) {
+        zv[i] = (yv[i] + alphas[0] * rv[i]) / splits_.diag[i];
+      }
+      proc.compute(3 *
+                   static_cast<long long>(pd.owned_by_class[0].size()));
+    };
+
+    // --- Algorithm 1 -------------------------------------------------------
+    for (index_t i : pd.owned) r[i] = f_colored_[i];  // u0 = 0
+    precond(r, z, y);
+    for (index_t i : pd.owned) p[i] = z[i];
+    proc.compute(static_cast<long long>(pd.owned.size()));
+    double rho = proc.allreduce_sum(local_dot(z, r));
+
+    int iterations = 0;
+    bool converged = false;
+    for (int it = 0; it < options.max_iterations; ++it) {
+      // Border p values, one record per neighbour (all colours at once).
+      exchange_all(p, /*tag=*/1);
+      // w = K p on owned rows.
+      for (index_t i : pd.owned) {
+        double s = 0.0;
+        for (index_t t = rp[i]; t < rp[i + 1]; ++t) s += val[t] * p[col[t]];
+        w[i] = s;
+      }
+      proc.compute(2 * pd.nnz_owned);
+
+      const double pw = proc.allreduce_sum(local_dot(p, w));
+      if (pw <= 0.0) break;
+      const double alpha = rho / pw;
+
+      double delta_inf = 0.0;
+      for (index_t i : pd.owned) {
+        const double step = alpha * p[i];
+        u[i] += step;
+        delta_inf = std::max(delta_inf, std::abs(step));
+      }
+      for (index_t i : pd.owned) r[i] -= alpha * w[i];
+      proc.compute(5 * static_cast<long long>(pd.owned.size()));
+
+      iterations = it + 1;
+      if (proc.all_flags(delta_inf < options.tolerance)) {
+        converged = true;
+        break;
+      }
+
+      precond(r, z, y);
+      const double rho_new = proc.allreduce_sum(local_dot(z, r));
+      const double beta = rho_new / rho;
+      rho = rho_new;
+      for (index_t i : pd.owned) p[i] = z[i] + beta * p[i];
+      proc.compute(2 * static_cast<long long>(pd.owned.size()));
+    }
+
+    for (index_t i : pd.owned) global_u[i] = u[i];
+    iter_of[proc.rank()] = iterations;
+    conv_of[proc.rank()] = converged ? 1 : 0;
+  };
+
+  machine.run(program);
+
+  DistResult res;
+  res.iterations = iter_of[0];
+  res.converged = conv_of[0] != 0;
+  res.simulated_seconds = machine.simulated_seconds();
+  res.max_compute_seconds = machine.max_compute_seconds();
+  res.max_comm_seconds = machine.max_comm_seconds();
+  res.max_idle_seconds = machine.max_idle_seconds();
+  res.total_records = machine.total_records();
+  res.solution = cs_.unpermute(global_u);
+  if (traffic != nullptr) {
+    traffic->assign(nprocs, std::vector<long long>(nprocs, 0));
+    for (int i = 0; i < nprocs; ++i) {
+      for (int j = 0; j < nprocs; ++j) {
+        (*traffic)[i][j] = machine.records_sent(i, j);
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace mstep::femsim

@@ -1,0 +1,180 @@
+#include "femsim/machine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+namespace mstep::femsim {
+
+int Proc::nprocs() const { return machine_->nprocs(); }
+
+void Proc::compute(long long flops) {
+  const double t = static_cast<double>(flops) * machine_->costs().t_flop;
+  clock_ += t;
+  compute_seconds_ += t;
+}
+
+void Proc::send(int dest, int tag, std::vector<double> data) {
+  assert(dest >= 0 && dest < machine_->nprocs() && dest != rank_);
+  const FemCosts& c = machine_->costs();
+  const double cost = c.t_record + c.t_word * static_cast<double>(data.size());
+  clock_ += cost;
+  comm_seconds_ += cost;
+  {
+    std::lock_guard<std::mutex> lk(machine_->traffic_mutex_);
+    machine_->traffic_[static_cast<std::size_t>(rank_) * machine_->nprocs_ +
+                       dest]++;
+  }
+  Machine::Mailbox& box = machine_->mailboxes_[dest];
+  {
+    std::lock_guard<std::mutex> lk(box.mutex);
+    box.queue.push_back({rank_, {tag, std::move(data), clock_}});
+  }
+  box.cv.notify_all();
+}
+
+std::vector<double> Proc::recv(int src, int tag) {
+  Machine::Mailbox& box = machine_->mailboxes_[rank_];
+  std::unique_lock<std::mutex> lk(box.mutex);
+  for (;;) {
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (it->first == src && it->second.tag == tag) {
+        Machine::Record rec = std::move(it->second);
+        box.queue.erase(it);
+        lk.unlock();
+        // Wait (idle) until the record is available, then pay the copy.
+        if (rec.ready_time > clock_) {
+          idle_seconds_ += rec.ready_time - clock_;
+          clock_ = rec.ready_time;
+        }
+        const double copy =
+            machine_->costs().t_word * static_cast<double>(rec.data.size());
+        clock_ += copy;
+        comm_seconds_ += copy;
+        return std::move(rec.data);
+      }
+    }
+    box.cv.wait(lk);
+  }
+}
+
+double Proc::sync_collective(double value) {
+  Machine& m = *machine_;
+  std::unique_lock<std::mutex> lk(m.coll_mutex_);
+  const std::uint64_t gen = m.coll_generation_;
+  m.coll_values_[rank_] = value;
+  m.coll_clocks_[rank_] = clock_;
+  if (++m.coll_arrived_ == m.nprocs_) {
+    double sum = 0.0;
+    double mx = 0.0;
+    for (int i = 0; i < m.nprocs_; ++i) {
+      sum += m.coll_values_[i];
+      mx = std::max(mx, m.coll_clocks_[i]);
+    }
+    m.coll_result_ = sum;
+    m.coll_max_clock_ = mx;
+    m.coll_arrived_ = 0;
+    ++m.coll_generation_;
+    m.coll_cv_.notify_all();
+  } else {
+    m.coll_cv_.wait(lk, [&] { return m.coll_generation_ != gen; });
+  }
+  const double result = m.coll_result_;
+  const double max_clock = m.coll_max_clock_;
+  lk.unlock();
+  if (max_clock > clock_) {
+    idle_seconds_ += max_clock - clock_;
+    clock_ = max_clock;
+  }
+  (void)result;
+  return result;
+}
+
+double Proc::allreduce_sum(double local) {
+  const double sum = sync_collective(local);
+  if (machine_->nprocs() > 1) {
+    const double cost =
+        machine_->reduction_stages() * machine_->costs().t_reduce_stage;
+    clock_ += cost;
+    comm_seconds_ += cost;
+  }
+  return sum;
+}
+
+bool Proc::all_flags(bool my_flag) {
+  const double raised = sync_collective(my_flag ? 1.0 : 0.0);
+  const double cost = machine_->costs().t_flag_sync;
+  clock_ += cost;
+  comm_seconds_ += cost;
+  return raised >= machine_->nprocs() - 0.5;
+}
+
+void Proc::barrier() { (void)sync_collective(0.0); }
+
+Machine::Machine(int nprocs, FemCosts costs)
+    : nprocs_(nprocs), costs_(costs), mailboxes_(nprocs),
+      coll_values_(nprocs, 0.0), coll_clocks_(nprocs, 0.0),
+      traffic_(static_cast<std::size_t>(nprocs) * nprocs, 0) {
+  if (nprocs < 1) throw std::invalid_argument("Machine: nprocs >= 1");
+  procs_.reserve(nprocs);
+  for (int i = 0; i < nprocs; ++i) procs_.push_back(Proc(this, i));
+}
+
+void Machine::run(const std::function<void(Proc&)>& program) {
+  if (nprocs_ == 1) {
+    program(procs_[0]);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(nprocs_);
+  for (int i = 0; i < nprocs_; ++i) {
+    threads.emplace_back([&, i] { program(procs_[i]); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+double Machine::simulated_seconds() const {
+  double mx = 0.0;
+  for (const Proc& p : procs_) mx = std::max(mx, p.clock());
+  return mx;
+}
+
+double Machine::max_compute_seconds() const {
+  double mx = 0.0;
+  for (const Proc& p : procs_) mx = std::max(mx, p.compute_seconds());
+  return mx;
+}
+
+double Machine::max_comm_seconds() const {
+  double mx = 0.0;
+  for (const Proc& p : procs_) mx = std::max(mx, p.comm_seconds());
+  return mx;
+}
+
+double Machine::max_idle_seconds() const {
+  double mx = 0.0;
+  for (const Proc& p : procs_) mx = std::max(mx, p.idle_seconds());
+  return mx;
+}
+
+long long Machine::records_sent(int from, int to) const {
+  return traffic_[static_cast<std::size_t>(from) * nprocs_ + to];
+}
+
+long long Machine::total_records() const {
+  long long s = 0;
+  for (long long v : traffic_) s += v;
+  return s;
+}
+
+int Machine::reduction_stages() const {
+  if (nprocs_ <= 1) return 0;
+  if (costs_.use_summax_circuit) {
+    return static_cast<int>(std::ceil(std::log2(nprocs_)));
+  }
+  return nprocs_ - 1;  // software ring
+}
+
+}  // namespace mstep::femsim

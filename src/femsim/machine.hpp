@@ -1,0 +1,159 @@
+// Finite Element Machine simulator (hardware substitution).
+//
+// NASA Langley's Finite Element Machine was a one-of-a-kind array of
+// microprocessors with dedicated nearest-neighbour links, a global
+// signal-flag network for convergence tests, and (later) a sum/max circuit
+// for O(log2 P) reductions (Jordan 1978).  We substitute an SPMD simulator:
+//
+//  * every simulated processor runs as a real thread executing the actual
+//    distributed algorithm, exchanging real messages over blocking
+//    channels — the NUMERICS are genuinely distributed and deterministic;
+//  * every processor carries a VIRTUAL CLOCK advanced by an explicit cost
+//    model (arithmetic seconds per flop, record latency + per-word transfer
+//    on the links, flag-network and reduction-stage costs); receiving a
+//    message advances the receiver's clock to at least the sender's
+//    send-completion time (Lamport-style), so waiting shows up as idle
+//    time exactly as it would on the real array.
+//
+// The simulated wall time of a run is the maximum final clock — this is
+// what reproduces Table 3's times and speedups.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "la/vector.hpp"
+
+namespace mstep::femsim {
+
+/// Cost constants of the simulated array.  Defaults are calibrated so the
+/// 60-equation Table 3 problem lands near the paper's absolute times
+/// (the FEM's TI-9900 processors ran software floating point); see
+/// EXPERIMENTS.md for the calibration note.
+struct FemCosts {
+  double t_flop = 7.7e-4;        // seconds per floating-point operation
+  double t_record = 1.2e-2;      // per-record link setup latency
+  double t_word = 5.0e-4;        // per 64-bit word on a link
+  double t_flag_sync = 2.0e-3;   // signal-flag convergence test
+  double t_reduce_stage = 8.0e-3;  // one stage of a reduction
+  /// false: software ring reduction, P-1 stages (the Table 3 era);
+  /// true: the sum/max hardware circuit, ceil(log2 P) stages (Section 5).
+  bool use_summax_circuit = false;
+};
+
+class Machine;
+
+/// Per-processor execution context handed to the SPMD program.
+class Proc {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int nprocs() const;
+
+  /// Virtual clock, in simulated seconds.
+  [[nodiscard]] double clock() const { return clock_; }
+  [[nodiscard]] double compute_seconds() const { return compute_seconds_; }
+  [[nodiscard]] double comm_seconds() const { return comm_seconds_; }
+  [[nodiscard]] double idle_seconds() const { return idle_seconds_; }
+
+  /// Advance the clock by `flops` arithmetic operations.
+  void compute(long long flops);
+
+  /// Send one record to `dest`.  The sender pays latency + per-word cost;
+  /// the record becomes available to the receiver at the sender's clock
+  /// after those costs.
+  void send(int dest, int tag, std::vector<double> data);
+
+  /// Blocking receive of the record with `tag` from `src`.  Advances the
+  /// clock to at least the record's availability time, plus per-word copy.
+  [[nodiscard]] std::vector<double> recv(int src, int tag);
+
+  /// Global sum over all processors (deterministic: partial values are
+  /// combined in rank order).  Costs reduction stages per FemCosts and
+  /// synchronises clocks to the common completion time.
+  [[nodiscard]] double allreduce_sum(double local);
+
+  /// Signal-flag network: true iff every processor raised its flag.
+  [[nodiscard]] bool all_flags(bool my_flag);
+
+  /// Clock-synchronising barrier (no data).
+  void barrier();
+
+ private:
+  friend class Machine;
+  Proc(Machine* machine, int rank) : machine_(machine), rank_(rank) {}
+
+  double sync_collective(double extra_cost);
+
+  Machine* machine_;
+  int rank_;
+  double clock_ = 0.0;
+  double compute_seconds_ = 0.0;
+  double comm_seconds_ = 0.0;
+  double idle_seconds_ = 0.0;
+};
+
+/// The array.  Construct, run() an SPMD program, then query statistics.
+class Machine {
+ public:
+  Machine(int nprocs, FemCosts costs);
+
+  /// Execute `program` on every processor (one thread each); blocks until
+  /// all complete.
+  void run(const std::function<void(Proc&)>& program);
+
+  [[nodiscard]] int nprocs() const { return nprocs_; }
+  [[nodiscard]] const FemCosts& costs() const { return costs_; }
+
+  /// Max final clock over processors — the simulated wall time.
+  [[nodiscard]] double simulated_seconds() const;
+  /// Max accumulated per-category seconds over processors.
+  [[nodiscard]] double max_compute_seconds() const;
+  [[nodiscard]] double max_comm_seconds() const;
+  [[nodiscard]] double max_idle_seconds() const;
+
+  /// Records sent from processor `from` to processor `to` — the Figure 4
+  /// link-usage census.
+  [[nodiscard]] long long records_sent(int from, int to) const;
+  [[nodiscard]] long long total_records() const;
+
+ private:
+  friend class Proc;
+
+  struct Record {
+    int tag;
+    std::vector<double> data;
+    double ready_time;
+  };
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::pair<int, Record>> queue;  // (src, record)
+  };
+
+  int nprocs_;
+  FemCosts costs_;
+  std::vector<Proc> procs_;
+  std::vector<Mailbox> mailboxes_;
+
+  // Collective state (generation-counted rendezvous).
+  std::mutex coll_mutex_;
+  std::condition_variable coll_cv_;
+  int coll_arrived_ = 0;
+  std::uint64_t coll_generation_ = 0;
+  std::vector<double> coll_values_;
+  std::vector<double> coll_clocks_;
+  double coll_result_ = 0.0;
+  double coll_max_clock_ = 0.0;
+
+  // Traffic census.
+  std::mutex traffic_mutex_;
+  std::vector<long long> traffic_;  // nprocs x nprocs
+
+  [[nodiscard]] int reduction_stages() const;
+};
+
+}  // namespace mstep::femsim

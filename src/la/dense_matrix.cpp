@@ -1,0 +1,194 @@
+#include "la/dense_matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace mstep::la {
+
+DenseMatrix DenseMatrix::identity(index_t n) {
+  DenseMatrix m(n, n);
+  for (index_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Vec DenseMatrix::multiply(const Vec& x) const {
+  assert(static_cast<index_t>(x.size()) == cols_);
+  Vec y(rows_, 0.0);
+  for (index_t i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (index_t j = 0; j < cols_; ++j) s += (*this)(i, j) * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+DenseMatrix DenseMatrix::multiply(const DenseMatrix& other) const {
+  assert(cols_ == other.rows_);
+  DenseMatrix c(rows_, other.cols_);
+  for (index_t i = 0; i < rows_; ++i) {
+    for (index_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (index_t j = 0; j < other.cols_; ++j) {
+        c(i, j) += aik * other(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+DenseMatrix DenseMatrix::transposed() const {
+  DenseMatrix t(cols_, rows_);
+  for (index_t i = 0; i < rows_; ++i)
+    for (index_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+void DenseMatrix::add_scaled(double alpha, const DenseMatrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t k = 0; k < data_.size(); ++k)
+    data_[k] += alpha * other.data_[k];
+}
+
+bool DenseMatrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (index_t i = 0; i < rows_; ++i)
+    for (index_t j = i + 1; j < cols_; ++j)
+      if (std::abs((*this)(i, j) - (*this)(j, i)) > tol) return false;
+  return true;
+}
+
+double DenseMatrix::max_abs_diff(const DenseMatrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  double m = 0.0;
+  for (std::size_t k = 0; k < data_.size(); ++k)
+    m = std::max(m, std::abs(data_[k] - other.data_[k]));
+  return m;
+}
+
+double DenseMatrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+Vec solve_lu(DenseMatrix a, Vec b) {
+  const index_t n = a.rows();
+  if (n != a.cols() || static_cast<index_t>(b.size()) != n) {
+    throw std::invalid_argument("solve_lu: dimension mismatch");
+  }
+  std::vector<index_t> piv(n);
+  for (index_t i = 0; i < n; ++i) piv[i] = i;
+
+  for (index_t k = 0; k < n; ++k) {
+    // Partial pivoting.
+    index_t p = k;
+    double best = std::abs(a(k, k));
+    for (index_t i = k + 1; i < n; ++i) {
+      if (std::abs(a(i, k)) > best) {
+        best = std::abs(a(i, k));
+        p = i;
+      }
+    }
+    if (best < 1e-300) throw std::runtime_error("solve_lu: singular matrix");
+    if (p != k) {
+      for (index_t j = 0; j < n; ++j) std::swap(a(k, j), a(p, j));
+      std::swap(b[k], b[p]);
+    }
+    for (index_t i = k + 1; i < n; ++i) {
+      const double l = a(i, k) / a(k, k);
+      a(i, k) = l;
+      for (index_t j = k + 1; j < n; ++j) a(i, j) -= l * a(k, j);
+      b[i] -= l * b[k];
+    }
+  }
+  // Back substitution.
+  Vec x(n);
+  for (index_t i = n - 1; i >= 0; --i) {
+    double s = b[i];
+    for (index_t j = i + 1; j < n; ++j) s -= a(i, j) * x[j];
+    x[i] = s / a(i, i);
+  }
+  return x;
+}
+
+DenseMatrix cholesky(const DenseMatrix& a) {
+  const index_t n = a.rows();
+  if (n != a.cols()) throw std::invalid_argument("cholesky: not square");
+  DenseMatrix l(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (index_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+    if (d <= 0.0) throw std::runtime_error("cholesky: not positive definite");
+    l(j, j) = std::sqrt(d);
+    for (index_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (index_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / l(j, j);
+    }
+  }
+  return l;
+}
+
+Vec solve_cholesky(const DenseMatrix& a, const Vec& b) {
+  const index_t n = a.rows();
+  DenseMatrix l = cholesky(a);
+  Vec y(n);
+  for (index_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (index_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    y[i] = s / l(i, i);
+  }
+  Vec x(n);
+  for (index_t i = n - 1; i >= 0; --i) {
+    double s = y[i];
+    for (index_t k = i + 1; k < n; ++k) s -= l(k, i) * x[k];
+    x[i] = s / l(i, i);
+  }
+  return x;
+}
+
+std::vector<double> symmetric_eigenvalues(DenseMatrix a, int max_sweeps) {
+  const index_t n = a.rows();
+  if (n != a.cols()) {
+    throw std::invalid_argument("symmetric_eigenvalues: not square");
+  }
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (index_t i = 0; i < n; ++i)
+      for (index_t j = i + 1; j < n; ++j) off += a(i, j) * a(i, j);
+    if (off < 1e-26) break;
+
+    for (index_t p = 0; p < n; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (index_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (index_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+      }
+    }
+  }
+  std::vector<double> ev(n);
+  for (index_t i = 0; i < n; ++i) ev[i] = a(i, i);
+  std::sort(ev.begin(), ev.end());
+  return ev;
+}
+
+}  // namespace mstep::la

@@ -1,0 +1,80 @@
+// Small dense matrices.
+//
+// Used for element stiffness blocks, parameter-fitting normal equations,
+// reference direct solves in tests, and dense spectral verification of the
+// preconditioned operators on small problems.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/vector.hpp"
+
+namespace mstep::la {
+
+/// Row-major dense matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(index_t rows, index_t cols, double value = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * cols, value) {}
+
+  static DenseMatrix identity(index_t n);
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+
+  double& operator()(index_t i, index_t j) {
+    return data_[static_cast<std::size_t>(i) * cols_ + j];
+  }
+  double operator()(index_t i, index_t j) const {
+    return data_[static_cast<std::size_t>(i) * cols_ + j];
+  }
+
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+
+  /// y = A x
+  [[nodiscard]] Vec multiply(const Vec& x) const;
+
+  /// C = A B
+  [[nodiscard]] DenseMatrix multiply(const DenseMatrix& other) const;
+
+  [[nodiscard]] DenseMatrix transposed() const;
+
+  /// A <- A + alpha * B
+  void add_scaled(double alpha, const DenseMatrix& other);
+
+  /// Symmetry check up to absolute tolerance.
+  [[nodiscard]] bool is_symmetric(double tol = 1e-12) const;
+
+  /// max |A_ij - B_ij|
+  [[nodiscard]] double max_abs_diff(const DenseMatrix& other) const;
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius_norm() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b by Gaussian elimination with partial pivoting.
+/// Throws std::runtime_error on (numerical) singularity.
+[[nodiscard]] Vec solve_lu(DenseMatrix a, Vec b);
+
+/// Cholesky factorization of an SPD matrix (lower factor).  Throws
+/// std::runtime_error if the matrix is not positive definite.
+[[nodiscard]] DenseMatrix cholesky(const DenseMatrix& a);
+
+/// Solve SPD system via Cholesky.
+[[nodiscard]] Vec solve_cholesky(const DenseMatrix& a, const Vec& b);
+
+/// All eigenvalues of a symmetric matrix by the cyclic Jacobi rotation
+/// method, sorted ascending.  O(n^3) — intended for verification on small
+/// systems (n up to a few hundred).
+[[nodiscard]] std::vector<double> symmetric_eigenvalues(DenseMatrix a,
+                                                        int max_sweeps = 50);
+
+}  // namespace mstep::la

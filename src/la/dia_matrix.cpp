@@ -1,0 +1,64 @@
+#include "la/dia_matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <stdexcept>
+
+namespace mstep::la {
+
+DiaMatrix DiaMatrix::from_csr(const CsrMatrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("DiaMatrix: matrix must be square");
+  }
+  DiaMatrix m;
+  m.n_ = a.rows();
+
+  std::map<index_t, std::vector<double>> diags;
+  const auto& rp = a.row_ptr();
+  const auto& col = a.col_idx();
+  const auto& val = a.values();
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t k = rp[i]; k < rp[i + 1]; ++k) {
+      if (val[k] == 0.0) continue;
+      const index_t off = col[k] - i;
+      auto [it, inserted] = diags.try_emplace(off);
+      if (inserted) it->second.assign(m.n_, 0.0);
+      it->second[i] = val[k];
+    }
+  }
+  m.offsets_.reserve(diags.size());
+  m.diag_.reserve(diags.size());
+  for (auto& [off, d] : diags) {
+    m.offsets_.push_back(off);
+    m.diag_.push_back(std::move(d));
+  }
+  return m;
+}
+
+void DiaMatrix::multiply(const Vec& x, Vec& y) const {
+  assert(static_cast<index_t>(x.size()) == n_);
+  y.assign(n_, 0.0);
+  for (std::size_t d = 0; d < offsets_.size(); ++d) {
+    const index_t off = offsets_[d];
+    const std::vector<double>& v = diag_[d];
+    const index_t lo = std::max<index_t>(0, -off);
+    const index_t hi = std::min<index_t>(n_, n_ - off);
+    // Unit-stride triad: y[i] += v[i] * x[i + off]  — the vectorizable form.
+    for (index_t i = lo; i < hi; ++i) y[i] += v[i] * x[i + off];
+  }
+}
+
+void DiaMatrix::multiply_sub(const Vec& x, Vec& y) const {
+  assert(static_cast<index_t>(x.size()) == n_);
+  assert(static_cast<index_t>(y.size()) == n_);
+  for (std::size_t d = 0; d < offsets_.size(); ++d) {
+    const index_t off = offsets_[d];
+    const std::vector<double>& v = diag_[d];
+    const index_t lo = std::max<index_t>(0, -off);
+    const index_t hi = std::min<index_t>(n_, n_ - off);
+    for (index_t i = lo; i < hi; ++i) y[i] -= v[i] * x[i + off];
+  }
+}
+
+}  // namespace mstep::la

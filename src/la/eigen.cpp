@@ -1,0 +1,221 @@
+#include "la/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace mstep::la {
+
+std::vector<double> tridiagonal_eigenvalues(const std::vector<double>& a,
+                                            const std::vector<double>& b) {
+  const int n = static_cast<int>(a.size());
+  if (n == 0) return {};
+  if (static_cast<int>(b.size()) != n - 1 && n > 1) {
+    throw std::invalid_argument("tridiagonal_eigenvalues: bad off-diagonal");
+  }
+  // Gershgorin bracket.
+  double lo = a[0], hi = a[0];
+  for (int i = 0; i < n; ++i) {
+    double r = 0.0;
+    if (i > 0) r += std::abs(b[i - 1]);
+    if (i < n - 1) r += std::abs(b[i]);
+    lo = std::min(lo, a[i] - r);
+    hi = std::max(hi, a[i] + r);
+  }
+
+  // Sturm count: the number of negative pivots of the LDL^T factorization
+  // of (T - xI) equals the number of eigenvalues < x (Sylvester).  A zero
+  // pivot (x hits an eigenvalue of a leading minor) is replaced by a tiny
+  // NEGATIVE value before the sign test — the standard Demmel treatment;
+  // the subsequent division then overflows harmlessly to +inf.
+  constexpr double kTiny = 1e-300;
+  auto count_below = [&](double x) {
+    int count = 0;
+    double q = a[0] - x;
+    if (q == 0.0) q = -kTiny;
+    if (q < 0) ++count;
+    for (int i = 1; i < n; ++i) {
+      q = a[i] - x - b[i - 1] * b[i - 1] / q;
+      if (q == 0.0) q = -kTiny;
+      if (q < 0) ++count;
+    }
+    return count;
+  };
+
+  std::vector<double> ev(n);
+  for (int k = 0; k < n; ++k) {
+    double l = lo, u = hi;
+    for (int it = 0; it < 200; ++it) {
+      const double mid = 0.5 * (l + u);
+      if (count_below(mid) <= k) {
+        l = mid;
+      } else {
+        u = mid;
+      }
+      if (u - l < 1e-14 * std::max(1.0, std::abs(u))) break;
+    }
+    ev[k] = 0.5 * (l + u);
+  }
+  return ev;
+}
+
+PowerResult power_method(const LinOp& op, index_t n, int max_iter, double tol,
+                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  Vec x = rng.uniform_vector(n);
+  Vec y(n);
+  double lambda = 0.0;
+  PowerResult res;
+  for (int it = 0; it < max_iter; ++it) {
+    op(x, y);
+    const double norm = nrm2(y);
+    if (norm == 0.0) break;
+    for (index_t i = 0; i < n; ++i) x[i] = y[i] / norm;
+    op(x, y);
+    const double next = dot(x, y);
+    res.iterations = it + 1;
+    if (std::abs(next - lambda) <= tol * std::max(1.0, std::abs(next))) {
+      res.eigenvalue = next;
+      res.converged = true;
+      return res;
+    }
+    lambda = next;
+  }
+  res.eigenvalue = lambda;
+  return res;
+}
+
+SpectrumEstimate lanczos_extreme(const LinOp& op, index_t n, int steps,
+                                 std::uint64_t seed) {
+  steps = std::min<int>(steps, n);
+  util::Rng rng(seed);
+  Vec v = rng.uniform_vector(n);
+  scale(1.0 / nrm2(v), v);
+  Vec v_prev(n, 0.0);
+  Vec w(n);
+  std::vector<double> alpha;
+  std::vector<double> beta;
+  double beta_prev = 0.0;
+
+  for (int j = 0; j < steps; ++j) {
+    op(v, w);
+    const double a = dot(v, w);
+    alpha.push_back(a);
+    // w <- w - a v - beta_prev v_prev, with full reorthogonalization against
+    // the two previous vectors only (sufficient for extreme-eigenvalue
+    // estimates at the step counts we use).
+    for (index_t i = 0; i < n; ++i) w[i] -= a * v[i] + beta_prev * v_prev[i];
+    const double b = nrm2(w);
+    if (b < 1e-12) break;
+    beta.push_back(b);
+    v_prev = v;
+    for (index_t i = 0; i < n; ++i) v[i] = w[i] / b;
+    beta_prev = b;
+  }
+  if (!alpha.empty() && beta.size() >= alpha.size()) beta.resize(alpha.size() - 1);
+
+  const auto ev = tridiagonal_eigenvalues(
+      alpha, std::vector<double>(beta.begin(),
+                                 beta.begin() + std::max<std::size_t>(
+                                                    alpha.size(), 1) - 1));
+  SpectrumEstimate est;
+  est.lanczos_steps = static_cast<int>(alpha.size());
+  if (!ev.empty()) {
+    est.lambda_min = ev.front();
+    est.lambda_max = ev.back();
+  }
+  return est;
+}
+
+SpectrumEstimate lanczos_extreme_preconditioned(const LinOp& a_op,
+                                                const LinOp& minv, index_t n,
+                                                int steps,
+                                                std::uint64_t seed) {
+  // Lanczos for M^{-1}A in the M inner product.  Maintain r (residual-like,
+  // "M v" space) and z = M^{-1} r.  <x, y>_M inner products reduce to
+  // (z_x, r_y) pairs, so M itself is never applied.
+  steps = std::min<int>(steps, n);
+  util::Rng rng(seed);
+  Vec r = rng.uniform_vector(n);
+  Vec z(n);
+  minv(r, z);
+  double nrm = std::sqrt(std::max(0.0, dot(z, r)));
+  if (nrm == 0.0) return {};
+  scale(1.0 / nrm, r);
+  scale(1.0 / nrm, z);
+
+  Vec r_prev(n, 0.0);
+  Vec z_prev(n, 0.0);
+  Vec w(n);
+  std::vector<double> alpha;
+  std::vector<double> beta;
+  double beta_prev = 0.0;
+
+  for (int j = 0; j < steps; ++j) {
+    // w = A z  (this is M * (M^{-1}A) v in the transformed space)
+    a_op(z, w);
+    const double a = dot(z, w);
+    alpha.push_back(a);
+    for (index_t i = 0; i < n; ++i) {
+      w[i] -= a * r[i] + beta_prev * r_prev[i];
+    }
+    Vec zw(n);
+    minv(w, zw);
+    const double b2 = dot(zw, w);
+    if (b2 <= 1e-24) break;
+    const double b = std::sqrt(b2);
+    beta.push_back(b);
+    r_prev = r;
+    z_prev = z;
+    for (index_t i = 0; i < n; ++i) {
+      r[i] = w[i] / b;
+      z[i] = zw[i] / b;
+    }
+    beta_prev = b;
+  }
+  (void)z_prev;
+  if (!alpha.empty() && beta.size() >= alpha.size()) beta.resize(alpha.size() - 1);
+
+  const auto ev = tridiagonal_eigenvalues(
+      alpha, std::vector<double>(beta.begin(),
+                                 beta.begin() + std::max<std::size_t>(
+                                                    alpha.size(), 1) - 1));
+  SpectrumEstimate est;
+  est.lanczos_steps = static_cast<int>(alpha.size());
+  if (!ev.empty()) {
+    est.lambda_min = ev.front();
+    est.lambda_max = ev.back();
+  }
+  return est;
+}
+
+std::pair<double, double> gershgorin_interval(const CsrMatrix& a) {
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  const auto& rp = a.row_ptr();
+  const auto& col = a.col_idx();
+  const auto& val = a.values();
+  for (index_t i = 0; i < a.rows(); ++i) {
+    double d = 0.0, r = 0.0;
+    for (index_t k = rp[i]; k < rp[i + 1]; ++k) {
+      if (col[k] == i) {
+        d = val[k];
+      } else {
+        r += std::abs(val[k]);
+      }
+    }
+    if (first) {
+      lo = d - r;
+      hi = d + r;
+      first = false;
+    } else {
+      lo = std::min(lo, d - r);
+      hi = std::max(hi, d + r);
+    }
+  }
+  return {lo, hi};
+}
+
+}  // namespace mstep::la

@@ -1,0 +1,63 @@
+// Eigenvalue estimation for sparse operators.
+//
+// The parametrized preconditioner needs the interval [lambda_1, lambda_n]
+// containing the spectrum of P^{-1}K (Section 2.2); the condition-number
+// studies (Adams 1982 results quoted in Section 2.1) need extreme
+// eigenvalues of the preconditioned operator M^{-1}K.  Both are served by
+// a matrix-free Lanczos with an optional preconditioner inner product, plus
+// a power method and Gershgorin bounds as cheap cross-checks.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "la/csr_matrix.hpp"
+#include "la/vector.hpp"
+
+namespace mstep::la {
+
+/// Matrix-free linear operator y = A x.
+using LinOp = std::function<void(const Vec& x, Vec& y)>;
+
+/// Eigenvalues of a symmetric tridiagonal matrix (diagonal `a`, off-diagonal
+/// `b` with b[i] between rows i and i+1), sorted ascending.  Bisection on
+/// Sturm sequences — unconditionally robust for the small matrices Lanczos
+/// produces.
+[[nodiscard]] std::vector<double> tridiagonal_eigenvalues(
+    const std::vector<double>& a, const std::vector<double>& b);
+
+struct PowerResult {
+  double eigenvalue = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Power method for the dominant eigenvalue of a symmetric operator.
+[[nodiscard]] PowerResult power_method(const LinOp& op, index_t n,
+                                       int max_iter = 2000, double tol = 1e-10,
+                                       std::uint64_t seed = 7);
+
+struct SpectrumEstimate {
+  double lambda_min = 0.0;
+  double lambda_max = 0.0;
+  int lanczos_steps = 0;
+  [[nodiscard]] double condition() const { return lambda_max / lambda_min; }
+};
+
+/// Plain Lanczos extreme-eigenvalue estimates for a symmetric operator.
+[[nodiscard]] SpectrumEstimate lanczos_extreme(const LinOp& op, index_t n,
+                                               int steps = 60,
+                                               std::uint64_t seed = 11);
+
+/// Preconditioned Lanczos: extreme eigenvalues of M^{-1} A where A is SPD
+/// and `minv` applies M^{-1} (M SPD).  Works in the M-inner product, so only
+/// M^{-1} applications are needed — exactly what a Preconditioner provides.
+[[nodiscard]] SpectrumEstimate lanczos_extreme_preconditioned(
+    const LinOp& a_op, const LinOp& minv, index_t n, int steps = 60,
+    std::uint64_t seed = 13);
+
+/// Gershgorin interval [lo, hi] enclosing the spectrum of a CSR matrix.
+[[nodiscard]] std::pair<double, double> gershgorin_interval(
+    const CsrMatrix& a);
+
+}  // namespace mstep::la

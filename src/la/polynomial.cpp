@@ -1,0 +1,116 @@
+#include "la/polynomial.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mstep::la {
+
+Polynomial::Polynomial(std::vector<double> coeffs) : c_(std::move(coeffs)) {
+  if (c_.empty()) c_ = {0.0};
+}
+
+double Polynomial::operator()(double x) const {
+  double r = 0.0;
+  for (std::size_t k = c_.size(); k-- > 0;) r = r * x + c_[k];
+  return r;
+}
+
+Polynomial Polynomial::operator+(const Polynomial& o) const {
+  std::vector<double> r(std::max(c_.size(), o.c_.size()), 0.0);
+  for (std::size_t k = 0; k < c_.size(); ++k) r[k] += c_[k];
+  for (std::size_t k = 0; k < o.c_.size(); ++k) r[k] += o.c_[k];
+  return Polynomial(std::move(r));
+}
+
+Polynomial Polynomial::operator-(const Polynomial& o) const {
+  std::vector<double> r(std::max(c_.size(), o.c_.size()), 0.0);
+  for (std::size_t k = 0; k < c_.size(); ++k) r[k] += c_[k];
+  for (std::size_t k = 0; k < o.c_.size(); ++k) r[k] -= o.c_[k];
+  return Polynomial(std::move(r));
+}
+
+Polynomial Polynomial::operator*(const Polynomial& o) const {
+  std::vector<double> r(c_.size() + o.c_.size() - 1, 0.0);
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    if (c_[i] == 0.0) continue;
+    for (std::size_t j = 0; j < o.c_.size(); ++j) {
+      r[i + j] += c_[i] * o.c_[j];
+    }
+  }
+  return Polynomial(std::move(r));
+}
+
+Polynomial Polynomial::operator*(double s) const {
+  std::vector<double> r = c_;
+  for (auto& v : r) v *= s;
+  return Polynomial(std::move(r));
+}
+
+Polynomial Polynomial::compose_linear(double a, double b) const {
+  // p(a + b x) via Horner on the linear factor.
+  Polynomial result({c_.back()});
+  const Polynomial lin({a, b});
+  for (std::size_t k = c_.size() - 1; k-- > 0;) {
+    result = result * lin + Polynomial({c_[k]});
+  }
+  return result;
+}
+
+Polynomial Polynomial::derivative() const {
+  if (c_.size() <= 1) return Polynomial({0.0});
+  std::vector<double> r(c_.size() - 1);
+  for (std::size_t k = 1; k < c_.size(); ++k) {
+    r[k - 1] = c_[k] * static_cast<double>(k);
+  }
+  return Polynomial(std::move(r));
+}
+
+Polynomial Polynomial::divide_by_x(double tol) const {
+  if (std::abs(c_[0]) > tol) {
+    throw std::invalid_argument("divide_by_x: p(0) != 0");
+  }
+  if (c_.size() == 1) return Polynomial({0.0});
+  return Polynomial(std::vector<double>(c_.begin() + 1, c_.end()));
+}
+
+void Polynomial::trim(double tol) {
+  while (c_.size() > 1 && std::abs(c_.back()) <= tol) c_.pop_back();
+}
+
+Polynomial Polynomial::monomial(int k, double coeff) {
+  std::vector<double> c(static_cast<std::size_t>(k) + 1, 0.0);
+  c.back() = coeff;
+  return Polynomial(std::move(c));
+}
+
+Polynomial chebyshev_t(int n) {
+  if (n == 0) return Polynomial({1.0});
+  if (n == 1) return Polynomial({0.0, 1.0});
+  Polynomial tkm1({1.0});
+  Polynomial tk({0.0, 1.0});
+  const Polynomial two_x({0.0, 2.0});
+  for (int k = 2; k <= n; ++k) {
+    Polynomial next = two_x * tk - tkm1;
+    tkm1 = std::move(tk);
+    tk = std::move(next);
+  }
+  return tk;
+}
+
+double chebyshev_t_value(int n, double x) {
+  if (std::abs(x) <= 1.0) return std::cos(n * std::acos(x));
+  const double s = x < 0 && (n % 2 == 1) ? -1.0 : 1.0;
+  return s * std::cosh(n * std::acosh(std::abs(x)));
+}
+
+std::vector<double> to_one_minus_x_basis(const Polynomial& p) {
+  // p(x) = q(1 - x) where q(g) = p(1 - g): compose with x -> 1 - x.
+  const Polynomial q = p.compose_linear(1.0, -1.0);
+  return q.coeffs();
+}
+
+Polynomial from_one_minus_x_basis(const std::vector<double>& a) {
+  return Polynomial(a).compose_linear(1.0, -1.0);
+}
+
+}  // namespace mstep::la

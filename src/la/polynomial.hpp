@@ -1,0 +1,69 @@
+// Polynomial arithmetic in the monomial basis, plus Chebyshev machinery.
+//
+// The parametrized m-step preconditioner (eq. 2.6 of the paper) is a
+// polynomial alpha_0 + alpha_1 G + ... + alpha_{m-1} G^{m-1} in the
+// iteration matrix G = P^{-1} Q.  Choosing the alphas is a polynomial
+// approximation problem: make s(lambda) = lambda * p(1 - lambda) close to 1
+// on the spectrum interval.  This module supplies the basis changes and the
+// Chebyshev min-max construction.
+#pragma once
+
+#include <vector>
+
+namespace mstep::la {
+
+/// Polynomial with coefficients c[0] + c[1] x + c[2] x^2 + ...
+class Polynomial {
+ public:
+  Polynomial() : c_{0.0} {}
+  explicit Polynomial(std::vector<double> coeffs);
+
+  /// Degree (0 for the zero polynomial).
+  [[nodiscard]] int degree() const { return static_cast<int>(c_.size()) - 1; }
+  [[nodiscard]] const std::vector<double>& coeffs() const { return c_; }
+
+  [[nodiscard]] double operator()(double x) const;  // Horner evaluation
+
+  [[nodiscard]] Polynomial operator+(const Polynomial& o) const;
+  [[nodiscard]] Polynomial operator-(const Polynomial& o) const;
+  [[nodiscard]] Polynomial operator*(const Polynomial& o) const;
+  [[nodiscard]] Polynomial operator*(double s) const;
+
+  /// Composition p(a + b x) — substitute a linear map for x.
+  [[nodiscard]] Polynomial compose_linear(double a, double b) const;
+
+  /// Derivative p'.
+  [[nodiscard]] Polynomial derivative() const;
+
+  /// Divide by x, i.e. return q with p(x) = x q(x).  Throws if p(0) is not
+  /// (numerically) zero beyond `tol`.
+  [[nodiscard]] Polynomial divide_by_x(double tol = 1e-9) const;
+
+  /// Drop trailing coefficients with |c| <= tol.
+  void trim(double tol = 0.0);
+
+  /// Monomials: x^k.
+  static Polynomial monomial(int k, double coeff = 1.0);
+
+ private:
+  std::vector<double> c_;
+};
+
+/// Chebyshev polynomial of the first kind T_n on [-1, 1], as a monomial-basis
+/// Polynomial (exact integer coefficients via the recurrence).
+[[nodiscard]] Polynomial chebyshev_t(int n);
+
+/// Evaluate T_n(x) directly (stable also for |x| > 1, via cosh form).
+[[nodiscard]] double chebyshev_t_value(int n, double x);
+
+/// Re-express p(x) in powers of (1 - x):  returns a with
+/// p(x) = sum_k a[k] (1 - x)^k.  This is the basis the m-step engine uses
+/// (powers of G correspond to powers of (1 - lambda) for Richardson-type
+/// splittings).
+[[nodiscard]] std::vector<double> to_one_minus_x_basis(const Polynomial& p);
+
+/// Inverse of the above: given alpha (coefficients in powers of (1-x)),
+/// return the monomial-basis polynomial.
+[[nodiscard]] Polynomial from_one_minus_x_basis(const std::vector<double>& a);
+
+}  // namespace mstep::la

@@ -1,0 +1,66 @@
+#include "la/quadrature.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mstep::la {
+
+namespace {
+
+/// Legendre P_n(x) and P_n'(x) by the three-term recurrence.
+std::pair<double, double> legendre_pair(int n, double x) {
+  double p0 = 1.0;
+  double p1 = x;
+  if (n == 0) return {p0, 0.0};
+  for (int k = 2; k <= n; ++k) {
+    const double p2 = ((2.0 * k - 1.0) * x * p1 - (k - 1.0) * p0) / k;
+    p0 = p1;
+    p1 = p2;
+  }
+  // P_n'(x) = n (x P_n - P_{n-1}) / (x^2 - 1)
+  const double dp = n * (x * p1 - p0) / (x * x - 1.0);
+  return {p1, dp};
+}
+
+}  // namespace
+
+QuadratureRule gauss_legendre(int n) {
+  if (n < 1) throw std::invalid_argument("gauss_legendre: n must be >= 1");
+  QuadratureRule rule;
+  rule.nodes.resize(n);
+  rule.weights.resize(n);
+  const int half = (n + 1) / 2;
+  for (int i = 0; i < half; ++i) {
+    // Chebyshev-like initial guess, refined by Newton.
+    double x = std::cos(M_PI * (i + 0.75) / (n + 0.5));
+    double p = 0.0;
+    double dp = 1.0;
+    for (int it = 0; it < 100; ++it) {
+      std::tie(p, dp) = legendre_pair(n, x);
+      const double dx = -p / dp;
+      x += dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    std::tie(p, dp) = legendre_pair(n, x);
+    const double w = 2.0 / ((1.0 - x * x) * dp * dp);
+    rule.nodes[i] = -x;
+    rule.weights[i] = w;
+    rule.nodes[n - 1 - i] = x;
+    rule.weights[n - 1 - i] = w;
+  }
+  return rule;
+}
+
+double integrate(const std::function<double(double)>& f, double a, double b,
+                 int n) {
+  const QuadratureRule rule = gauss_legendre(n);
+  const double mid = 0.5 * (a + b);
+  const double halfw = 0.5 * (b - a);
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) {
+    s += rule.weights[i] * f(mid + halfw * rule.nodes[i]);
+  }
+  return s * halfw;
+}
+
+}  // namespace mstep::la

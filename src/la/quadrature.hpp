@@ -1,0 +1,27 @@
+// Gauss–Legendre quadrature.
+//
+// The least-squares parameter fit (Section 2.2 of the paper) needs Gram
+// integrals of low-degree polynomials over the spectrum interval
+// [lambda_1, lambda_n]; an n-point Gauss rule integrates degree 2n-1
+// exactly, so the fits are exact up to rounding.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace mstep::la {
+
+struct QuadratureRule {
+  std::vector<double> nodes;    // on [-1, 1]
+  std::vector<double> weights;  // summing to 2
+};
+
+/// n-point Gauss–Legendre rule on [-1, 1].  Nodes are roots of the Legendre
+/// polynomial P_n found by Newton iteration from Chebyshev initial guesses.
+[[nodiscard]] QuadratureRule gauss_legendre(int n);
+
+/// Integrate f over [a, b] with an n-point Gauss rule.
+[[nodiscard]] double integrate(const std::function<double(double)>& f,
+                               double a, double b, int n = 32);
+
+}  // namespace mstep::la

@@ -1,0 +1,80 @@
+#include "la/vector.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mstep::la {
+
+void axpy(double a, const Vec& x, Vec& y) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void xpay(const Vec& x, double b, Vec& y) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] = x[i] + b * y[i];
+}
+
+void waxpby(double a, const Vec& x, double b, const Vec& y, Vec& w) {
+  assert(x.size() == y.size());
+  w.resize(x.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) w[i] = a * x[i] + b * y[i];
+}
+
+void scale(double a, Vec& x) {
+  for (auto& v : x) v *= a;
+}
+
+double dot(const Vec& x, const Vec& y) {
+  assert(x.size() == y.size());
+  double s = 0.0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+double nrm2(const Vec& x) { return std::sqrt(dot(x, x)); }
+
+double norm_inf(const Vec& x) {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double diff_norm_inf(const Vec& x, const Vec& y) {
+  assert(x.size() == y.size());
+  double m = 0.0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) m = std::max(m, std::abs(x[i] - y[i]));
+  return m;
+}
+
+void fill(Vec& x, double value) {
+  for (auto& v : x) v = value;
+}
+
+void sub(const Vec& x, const Vec& y, Vec& w) {
+  assert(x.size() == y.size());
+  w.resize(x.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) w[i] = x[i] - y[i];
+}
+
+void add(const Vec& x, const Vec& y, Vec& w) {
+  assert(x.size() == y.size());
+  w.resize(x.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) w[i] = x[i] + y[i];
+}
+
+void hadamard(const Vec& x, const Vec& y, Vec& w) {
+  assert(x.size() == y.size());
+  w.resize(x.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) w[i] = x[i] * y[i];
+}
+
+}  // namespace mstep::la

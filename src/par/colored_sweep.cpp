@@ -1,0 +1,87 @@
+#include "par/colored_sweep.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mstep::par {
+
+ParallelMulticolorMStepSsor::ParallelMulticolorMStepSsor(
+    const color::ColoredSystem& cs, std::vector<double> alphas,
+    ThreadPool& pool)
+    : cs_(&cs), alphas_(std::move(alphas)), pool_(&pool),
+      splits_(color::compute_row_splits(cs)) {
+  if (alphas_.empty()) {
+    throw std::invalid_argument("ParallelMulticolorMStepSsor: need m >= 1");
+  }
+}
+
+void ParallelMulticolorMStepSsor::apply(const Vec& r, Vec& z) const {
+  const index_t n = cs_->size();
+  assert(static_cast<index_t>(r.size()) == n);
+  const int m = static_cast<int>(alphas_.size());
+  const int nc = cs_->num_classes();
+
+  z.assign(n, 0.0);
+  y_.assign(n, 0.0);
+
+  const auto& rp = cs_->matrix.row_ptr();
+  const auto& col = cs_->matrix.col_idx();
+  const auto& val = cs_->matrix.values();
+  Vec& y = y_;
+
+  for (int s = 1; s <= m; ++s) {
+    const double a = alphas_[m - s];
+    for (int c = 0; c < nc; ++c) {
+      const bool last = c == nc - 1;
+      pool_->for_range(
+          cs_->class_start[c], cs_->class_start[c + 1],
+          [&, a, last](index_t b, index_t e) {
+            for (index_t i = b; i < e; ++i) {
+              double xl = 0.0;
+              for (index_t t = rp[i]; t < splits_.lo_end[i]; ++t) {
+                xl -= val[t] * z[col[t]];
+              }
+              z[i] = (xl + y[i] + a * r[i]) / splits_.diag[i];
+              y[i] = last ? 0.0 : xl;
+            }
+          });
+    }
+    for (int c = nc - 2; c >= 1; --c) {
+      pool_->for_range(
+          cs_->class_start[c], cs_->class_start[c + 1],
+          [&, a](index_t b, index_t e) {
+            for (index_t i = b; i < e; ++i) {
+              double xu = 0.0;
+              for (index_t t = splits_.up_begin[i]; t < rp[i + 1]; ++t) {
+                xu -= val[t] * z[col[t]];
+              }
+              z[i] = (xu + y[i] + a * r[i]) / splits_.diag[i];
+              y[i] = xu;
+            }
+          });
+    }
+    pool_->for_range(cs_->class_start[0], cs_->class_start[1],
+                     [&](index_t b, index_t e) {
+                       for (index_t i = b; i < e; ++i) {
+                         double xu = 0.0;
+                         for (index_t t = splits_.up_begin[i]; t < rp[i + 1];
+                              ++t) {
+                           xu -= val[t] * z[col[t]];
+                         }
+                         y[i] = xu;
+                       }
+                     });
+  }
+  pool_->for_range(cs_->class_start[0], cs_->class_start[1],
+                   [&](index_t b, index_t e) {
+                     for (index_t i = b; i < e; ++i) {
+                       z[i] = (y[i] + alphas_[0] * r[i]) / splits_.diag[i];
+                     }
+                   });
+}
+
+std::string ParallelMulticolorMStepSsor::name() const {
+  return "parallel-multicolor-ssor-m" + std::to_string(alphas_.size());
+}
+
+}  // namespace mstep::par

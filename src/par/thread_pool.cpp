@@ -1,0 +1,84 @@
+#include "par/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace mstep::par {
+
+ThreadPool::ThreadPool(int threads) {
+  const int extra = std::max(0, threads - 1);
+  workers_.reserve(extra);
+  for (int i = 0; i < extra; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      start_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      active_workers_.fetch_add(1, std::memory_order_relaxed);
+    }
+    work_on_current_job();
+    if (active_workers_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last worker out wakes the caller.
+      std::lock_guard<std::mutex> lk(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::work_on_current_job() {
+  const auto* body = body_.load(std::memory_order_acquire);
+  for (;;) {
+    const index_t b = next_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (b >= end_) return;
+    (*body)(b, std::min(end_, b + chunk_));
+  }
+}
+
+void ThreadPool::for_range(index_t begin, index_t end,
+                           const std::function<void(index_t, index_t)>& body) {
+  if (begin >= end) return;
+  if (workers_.empty() || end - begin < 2) {
+    body(begin, end);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    body_.store(&body, std::memory_order_release);
+    end_ = end;
+    chunk_ = std::max<index_t>(
+        1, (end - begin) / (4 * static_cast<index_t>(threads())));
+    next_.store(begin, std::memory_order_relaxed);
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  work_on_current_job();  // the caller participates
+  std::unique_lock<std::mutex> lk(mutex_);
+  done_cv_.wait(lk, [&] {
+    return next_.load(std::memory_order_relaxed) >= end_ &&
+           active_workers_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ThreadPool::for_each(index_t begin, index_t end,
+                          const std::function<void(index_t)>& body) {
+  for_range(begin, end, [&](index_t b, index_t e) {
+    for (index_t i = b; i < e; ++i) body(i);
+  });
+}
+
+}  // namespace mstep::par

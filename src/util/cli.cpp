@@ -1,0 +1,48 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mstep::util {
+
+Cli::Cli(int argc, const char* const* argv, std::vector<std::string> allowed) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("expected --flag, got: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string value = "1";
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    }
+    if (std::find(allowed.begin(), allowed.end(), arg) == allowed.end()) {
+      throw std::invalid_argument("unknown flag: --" + arg);
+    }
+    values_[arg] = value;
+  }
+}
+
+bool Cli::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string Cli::get(const std::string& name,
+                     const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int Cli::get_int(const std::string& name, int fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::stoi(it->second);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::stod(it->second);
+}
+
+}  // namespace mstep::util

@@ -1,0 +1,35 @@
+// Minimal command-line flag parsing for examples and bench drivers.
+//
+// Supports "--name value" and "--name=value".  Unknown flags are an error so
+// typos in experiment scripts fail loudly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mstep::util {
+
+class Cli {
+ public:
+  /// Parse argv.  `allowed` lists the flag names (without "--") that the
+  /// program accepts; anything else throws std::invalid_argument.
+  Cli(int argc, const char* const* argv, std::vector<std::string> allowed);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] int get_int(const std::string& name, int fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace mstep::util

@@ -1,0 +1,46 @@
+// ASCII table formatting for the benchmark harnesses.
+//
+// Every table/figure reproduction binary prints its rows through this
+// formatter so the output layout matches across experiments and is easy to
+// diff against the paper's tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mstep::util {
+
+/// Column-aligned ASCII table.  Cells are strings; numeric helpers are
+/// provided for common formats.  Rendering right-aligns numeric-looking
+/// cells and left-aligns everything else.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row.  Rows shorter than the header are padded with "".
+  void add_row(std::vector<std::string> row);
+
+  /// Append a horizontal separator line.
+  void add_separator();
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const { return header_.size(); }
+
+  /// Render with a given title (title may be empty).
+  [[nodiscard]] std::string to_string(const std::string& title = "") const;
+
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  // --- cell formatting helpers -------------------------------------------
+  static std::string num(double v, int precision = 3);
+  static std::string fixed(double v, int precision = 3);
+  static std::string integer(long long v);
+  static std::string ratio(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector => separator
+};
+
+}  // namespace mstep::util

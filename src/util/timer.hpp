@@ -1,0 +1,27 @@
+// Wall-clock timing helper used by examples and benchmark drivers.
+#pragma once
+
+#include <chrono>
+
+namespace mstep::util {
+
+/// Monotonic stopwatch.  Construction starts the clock.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mstep::util

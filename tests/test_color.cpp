@@ -1,0 +1,142 @@
+// Tests for the multicolor ordering machinery and the block structure of
+// equation (3.1).
+#include <gtest/gtest.h>
+
+#include "color/coloring.hpp"
+#include "fem/plane_stress.hpp"
+#include "util/rng.hpp"
+
+namespace mstep::color {
+namespace {
+
+struct PlateSetup {
+  fem::PlateMesh mesh;
+  la::CsrMatrix k;
+  ColorClasses classes;
+  ColoredSystem cs;
+};
+
+PlateSetup make_plate(int rows, int cols) {
+  fem::PlateMesh mesh(rows, cols);
+  auto sys = fem::assemble_plane_stress(mesh, fem::Material{}, fem::EdgeLoad{});
+  ColorClasses classes = six_color_classes(mesh);
+  ColoredSystem cs = make_colored_system(sys.stiffness, classes);
+  return {std::move(mesh), std::move(sys.stiffness), std::move(classes),
+          std::move(cs)};
+}
+
+TEST(SixColor, ClassesPartitionAllEquations) {
+  const auto s = make_plate(5, 5);
+  EXPECT_EQ(s.classes.num_classes(), 6);
+  EXPECT_EQ(s.classes.total_equations(), s.mesh.num_equations());
+  std::vector<bool> seen(s.mesh.num_equations(), false);
+  for (const auto& cls : s.classes.classes) {
+    for (index_t eq : cls) {
+      EXPECT_FALSE(seen[eq]);
+      seen[eq] = true;
+    }
+  }
+  for (bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(SixColor, ColoringIsValidForVariousPlates) {
+  for (int rows : {3, 4, 6, 9}) {
+    for (int cols : {3, 5, 8}) {
+      const auto s = make_plate(rows, cols);
+      EXPECT_TRUE(coloring_is_valid(s.k, s.classes))
+          << rows << "x" << cols;
+    }
+  }
+}
+
+TEST(SixColor, ClassSizesAreBalancedOnWrapAroundPlates) {
+  // When the number of nodes per row makes the colouring wrap R/B/G
+  // seamlessly (ncols divisible by 3), class sizes are exactly equal.
+  const auto s = make_plate(6, 7);  // 6 unconstrained columns per row
+  const index_t expect = s.mesh.num_equations() / 6;
+  for (int k = 0; k < 6; ++k) {
+    EXPECT_EQ(s.cs.class_size(k), expect) << "class " << k;
+  }
+}
+
+TEST(Permutation, RoundTripsVectors) {
+  const auto s = make_plate(4, 6);
+  util::Rng rng(2);
+  const Vec x = rng.uniform_vector(s.cs.size());
+  const Vec y = s.cs.unpermute(s.cs.permute(x));
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(x[i], y[i]);
+}
+
+TEST(Permutation, InverseIsConsistent) {
+  const auto s = make_plate(3, 4);
+  for (index_t i = 0; i < s.cs.size(); ++i) {
+    EXPECT_EQ(s.cs.inv_perm[s.cs.perm[i]], i);
+  }
+}
+
+TEST(Permutation, MatrixActionCommutesWithReordering) {
+  // (P K P^T)(P x) must equal P (K x).
+  const auto s = make_plate(5, 4);
+  util::Rng rng(3);
+  const Vec x = rng.uniform_vector(s.cs.size());
+  Vec kx;
+  s.k.multiply(x, kx);
+  Vec kpx;
+  s.cs.matrix.multiply(s.cs.permute(x), kpx);
+  const Vec expected = s.cs.permute(kx);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(kpx[i], expected[i], 1e-12);
+  }
+}
+
+TEST(BlockStructure, Equation31HoldsForPlate) {
+  // D_kk diagonal for all six classes; B12, B34, B56 diagonal.
+  for (int rows : {4, 6}) {
+    for (int cols : {4, 7}) {
+      const auto s = make_plate(rows, cols);
+      const auto rep = verify_block_structure(s.cs);
+      EXPECT_TRUE(rep.diagonal_blocks_are_diagonal) << rows << "x" << cols;
+      EXPECT_TRUE(rep.paired_dof_blocks_are_diagonal) << rows << "x" << cols;
+      EXPECT_EQ(rep.max_row_nnz, 14);
+    }
+  }
+}
+
+TEST(BlockStructure, PermutationPreservesSymmetry) {
+  const auto s = make_plate(5, 5);
+  EXPECT_LT(s.cs.matrix.symmetry_error(), 1e-12);
+}
+
+TEST(TwoColor, RedBlackDecouplesPoisson) {
+  const fem::PoissonProblem p(7, 6);
+  const auto a = p.matrix();
+  const auto classes = two_color_classes(p);
+  EXPECT_EQ(classes.num_classes(), 2);
+  EXPECT_TRUE(coloring_is_valid(a, classes));
+  const auto cs = make_colored_system(a, classes);
+  const auto rep = verify_block_structure(cs);
+  EXPECT_TRUE(rep.diagonal_blocks_are_diagonal);
+}
+
+TEST(Validity, DetectsBadColoring) {
+  // Put two coupled equations in the same class: must be rejected.
+  const fem::PoissonProblem p(3, 3);
+  const auto a = p.matrix();
+  ColorClasses bad;
+  bad.classes.assign(2, {});
+  for (index_t i = 0; i < a.rows(); ++i) {
+    bad.classes[i < a.rows() / 2 ? 0 : 1].push_back(i);
+  }
+  EXPECT_FALSE(coloring_is_valid(a, bad));
+}
+
+TEST(Validity, RejectsIncompleteClasses) {
+  const fem::PoissonProblem p(3, 3);
+  const auto a = p.matrix();
+  ColorClasses missing = two_color_classes(p);
+  missing.classes[0].pop_back();
+  EXPECT_FALSE(coloring_is_valid(a, missing));
+}
+
+}  // namespace
+}  // namespace mstep::color

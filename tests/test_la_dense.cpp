@@ -1,0 +1,162 @@
+// Tests for dense matrices, factorizations, and the symmetric eigensolver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/dense_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace mstep::la {
+namespace {
+
+DenseMatrix random_spd(index_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  DenseMatrix b(n, n);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j) b(i, j) = rng.uniform(-1.0, 1.0);
+  DenseMatrix a = b.transposed().multiply(b);
+  for (index_t i = 0; i < n; ++i) a(i, i) += n;  // well conditioned
+  return a;
+}
+
+TEST(Dense, IdentityMultiplies) {
+  const DenseMatrix i3 = DenseMatrix::identity(3);
+  const Vec x = {1.0, -2.0, 3.0};
+  EXPECT_EQ(i3.multiply(x), x);
+}
+
+TEST(Dense, MultiplyMatchesHandComputation) {
+  DenseMatrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = -1;
+  a(1, 2) = 1;
+  const Vec ones(3, 1.0);
+  const Vec y = a.multiply(ones);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+}
+
+TEST(Dense, MatMulAssociatesWithVector) {
+  const DenseMatrix a = random_spd(5, 1);
+  const DenseMatrix b = random_spd(5, 2);
+  util::Rng rng(3);
+  const Vec x = rng.uniform_vector(5);
+  const Vec y1 = a.multiply(b.multiply(x));
+  const Vec y2 = a.multiply(b).multiply(x);
+  for (int i = 0; i < 5; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-10);
+}
+
+TEST(Dense, TransposeInvolution) {
+  DenseMatrix a(3, 2);
+  a(0, 1) = 5.0;
+  a(2, 0) = -2.0;
+  const DenseMatrix att = a.transposed().transposed();
+  EXPECT_DOUBLE_EQ(att.max_abs_diff(a), 0.0);
+}
+
+TEST(Dense, SolveLuRecoversKnownSolution) {
+  const DenseMatrix a = random_spd(8, 4);
+  util::Rng rng(5);
+  const Vec x_exact = rng.uniform_vector(8);
+  const Vec b = a.multiply(x_exact);
+  const Vec x = solve_lu(a, b);
+  for (int i = 0; i < 8; ++i) EXPECT_NEAR(x[i], x_exact[i], 1e-9);
+}
+
+TEST(Dense, SolveLuPivotsZeroLeadingEntry) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  const Vec x = solve_lu(a, {3.0, 7.0});
+  EXPECT_DOUBLE_EQ(x[0], 7.0);
+  EXPECT_DOUBLE_EQ(x[1], 3.0);
+}
+
+TEST(Dense, SolveLuThrowsOnSingular) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_THROW((void)solve_lu(a, {1.0, 1.0}), std::runtime_error);
+}
+
+TEST(Dense, CholeskyFactorReproducesMatrix) {
+  const DenseMatrix a = random_spd(6, 6);
+  const DenseMatrix l = cholesky(a);
+  const DenseMatrix llt = l.multiply(l.transposed());
+  EXPECT_LT(llt.max_abs_diff(a), 1e-9);
+}
+
+TEST(Dense, CholeskyThrowsOnIndefinite) {
+  DenseMatrix a = DenseMatrix::identity(3);
+  a(2, 2) = -1.0;
+  EXPECT_THROW((void)cholesky(a), std::runtime_error);
+}
+
+TEST(Dense, SolveCholeskyMatchesLu) {
+  const DenseMatrix a = random_spd(7, 8);
+  util::Rng rng(9);
+  const Vec b = rng.uniform_vector(7);
+  const Vec x1 = solve_lu(a, b);
+  const Vec x2 = solve_cholesky(a, b);
+  for (int i = 0; i < 7; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-9);
+}
+
+TEST(Dense, EigenvaluesOfDiagonalMatrix) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = -1.0;
+  a(2, 2) = 2.0;
+  const auto ev = symmetric_eigenvalues(a);
+  EXPECT_NEAR(ev[0], -1.0, 1e-12);
+  EXPECT_NEAR(ev[1], 2.0, 1e-12);
+  EXPECT_NEAR(ev[2], 3.0, 1e-12);
+}
+
+TEST(Dense, EigenvaluesOf2x2Known) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  DenseMatrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 2;
+  const auto ev = symmetric_eigenvalues(a);
+  EXPECT_NEAR(ev[0], 1.0, 1e-12);
+  EXPECT_NEAR(ev[1], 3.0, 1e-12);
+}
+
+TEST(Dense, EigenvalueSumEqualsTrace) {
+  const DenseMatrix a = random_spd(10, 11);
+  const auto ev = symmetric_eigenvalues(a);
+  double sum = 0.0, trace = 0.0;
+  for (double v : ev) sum += v;
+  for (index_t i = 0; i < 10; ++i) trace += a(i, i);
+  EXPECT_NEAR(sum, trace, 1e-8 * std::abs(trace));
+}
+
+TEST(Dense, EigenvaluesAllPositiveForSpd) {
+  const auto ev = symmetric_eigenvalues(random_spd(12, 13));
+  EXPECT_GT(ev.front(), 0.0);
+}
+
+TEST(Dense, FrobeniusNorm) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 3.0;
+  a(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+}
+
+TEST(Dense, AddScaled) {
+  DenseMatrix a = DenseMatrix::identity(2);
+  a.add_scaled(2.0, DenseMatrix::identity(2));
+  EXPECT_DOUBLE_EQ(a(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace mstep::la

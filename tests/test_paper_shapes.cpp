@@ -1,0 +1,190 @@
+// Shape-regression tests: the paper's headline observations encoded as
+// assertions, on problem sizes small enough for CI.  If a change to the
+// library breaks one of these, the reproduction no longer reproduces.
+#include <gtest/gtest.h>
+
+#include "core/planner.hpp"
+#include "cyber/table2_driver.hpp"
+#include "femsim/assignment.hpp"
+#include "femsim/dist_solver.hpp"
+
+namespace mstep {
+namespace {
+
+// ---- Table 2 shapes ------------------------------------------------------------
+
+struct Table2Fixture : public ::testing::Test {
+  static const std::vector<cyber::Table2Column>& columns() {
+    static const std::vector<cyber::Table2Column> cols = [] {
+      cyber::Table2Options opt;
+      opt.plate_sizes = {12, 24};
+      opt.max_m = 8;
+      opt.both_variants_up_to = 3;
+      return cyber::run_table2(opt);
+    }();
+    return cols;
+  }
+
+  static int iterations(const cyber::Table2Column& col, int m, bool param) {
+    for (const auto& row : col.rows) {
+      if (row.m == m && row.parametrized == param) return row.iterations;
+    }
+    return -1;
+  }
+};
+
+TEST_F(Table2Fixture, Observation1ParametrizedBeatsUnparametrized) {
+  for (const auto& col : columns()) {
+    for (int m : {2, 3}) {
+      EXPECT_LE(iterations(col, m, true), iterations(col, m, false))
+          << "a=" << col.a << " m=" << m;
+    }
+  }
+}
+
+TEST_F(Table2Fixture, IterationsDecreaseMonotonicallyInM) {
+  for (const auto& col : columns()) {
+    int prev = iterations(col, 0, false);
+    for (int m = 2; m <= 8; ++m) {
+      const int cur = iterations(col, m, true);
+      EXPECT_LE(cur, prev) << "a=" << col.a << " m=" << m;
+      prev = cur;
+    }
+  }
+}
+
+TEST_F(Table2Fixture, Observation2OptimalMGrowsWithProblemSize) {
+  std::vector<int> best;
+  for (const auto& col : columns()) {
+    int best_m = 0;
+    double best_t = 1e300;
+    for (const auto& row : col.rows) {
+      if (!row.parametrized && row.m != 0) continue;
+      if (row.model_seconds < best_t) {
+        best_t = row.model_seconds;
+        best_m = row.m;
+      }
+    }
+    best.push_back(best_m);
+  }
+  ASSERT_EQ(best.size(), 2u);
+  EXPECT_LE(best[0], best[1]);  // larger plate -> at least as many steps
+  EXPECT_GE(best[1], 3);        // and deep preconditioning pays there
+}
+
+TEST_F(Table2Fixture, UnparametrizedStepsDoNotPayInTime) {
+  // The paper's motivation for parametrizing: at small m the plain m-step
+  // preconditioner saves iterations but not time.
+  for (const auto& col : columns()) {
+    double t0 = 0.0, t1 = 0.0;
+    for (const auto& row : col.rows) {
+      if (row.m == 0) t0 = row.model_seconds;
+      if (row.m == 1 && !row.parametrized) t1 = row.model_seconds;
+    }
+    EXPECT_GT(t1, 0.9 * t0) << "a=" << col.a;
+  }
+}
+
+// ---- Table 3 shapes ---------------------------------------------------------------
+
+struct Table3Run {
+  int iterations;
+  double t1, t2, t5;
+};
+
+Table3Run run_table3(int m, bool parametrized) {
+  const fem::PlateMesh mesh(6, 6);
+  const fem::Material mat;
+  const fem::EdgeLoad load{1.0, 0.0};
+  femsim::DistOptions opt;
+  opt.m = m;
+  opt.parametrized = parametrized;
+  opt.tolerance = 1e-4;
+
+  const femsim::DistributedPlateSolver s1(mesh, mat, load,
+                                          femsim::row_bands(mesh, 1));
+  const femsim::DistributedPlateSolver s2(mesh, mat, load,
+                                          femsim::row_bands(mesh, 2));
+  const femsim::DistributedPlateSolver s5(mesh, mat, load,
+                                          femsim::column_strips(mesh, 5));
+  const auto r1 = s1.solve(opt);
+  const auto r2 = s2.solve(opt);
+  const auto r5 = s5.solve(opt);
+  EXPECT_EQ(r1.iterations, r2.iterations);
+  EXPECT_EQ(r1.iterations, r5.iterations);
+  return {r1.iterations, r1.simulated_seconds, r2.simulated_seconds,
+          r5.simulated_seconds};
+}
+
+TEST(Table3Shapes, SpeedupBandsMatchPaper) {
+  // Paper: 1.92..1.80 (P=2) and 3.58..3.06 (P=5).
+  const auto cg = run_table3(0, false);
+  EXPECT_GT(cg.t1 / cg.t2, 1.85);
+  EXPECT_LT(cg.t1 / cg.t2, 2.0);
+  EXPECT_GT(cg.t1 / cg.t5, 3.3);
+  EXPECT_LT(cg.t1 / cg.t5, 3.8);
+}
+
+TEST(Table3Shapes, Observation3SpeedupDegradesWithM) {
+  const auto cg = run_table3(0, false);
+  const auto m4 = run_table3(4, true);
+  EXPECT_LT(m4.t1 / m4.t2, cg.t1 / cg.t2);
+  EXPECT_LT(m4.t1 / m4.t5, cg.t1 / cg.t5);
+}
+
+TEST(Table3Shapes, Observation2MultipleUnparametrizedStepsDoNotHelp) {
+  const auto m1 = run_table3(1, false);
+  for (int m : {2, 3, 4}) {
+    const auto r = run_table3(m, false);
+    EXPECT_GT(r.t1, 0.95 * m1.t1) << "m=" << m;
+  }
+}
+
+TEST(Table3Shapes, EffectivenessOrderingMatchesPaper) {
+  // Paper observation (1): 4P <= 5P <= 3P <= 2P <= 1 <= 2 <= 3 <= 4 in
+  // iteration counts (identical across processor counts).
+  const int i4p = run_table3(4, true).iterations;
+  const int i3p = run_table3(3, true).iterations;
+  const int i2p = run_table3(2, true).iterations;
+  const int i1 = run_table3(1, false).iterations;
+  const int i0 = run_table3(0, false).iterations;
+  EXPECT_LE(i4p, i3p);
+  EXPECT_LE(i3p, i2p);
+  EXPECT_LE(i2p, i1);
+  EXPECT_LT(i1, i0);
+}
+
+// ---- eq. (4.2) shape ------------------------------------------------------------------
+
+TEST(Eq42Shape, DeeperStepsPreferredOnLargerProblems) {
+  // The left side of criterion 2 at a fixed m grows with problem size
+  // relative to B/A — the paper's a=80-only verdict in miniature.
+  cyber::Table2Options opt;
+  opt.plate_sizes = {12, 28};
+  opt.max_m = 6;
+  opt.both_variants_up_to = 0;
+  const auto cols = cyber::run_table2(opt);
+
+  int extra_small = 0, extra_large = 0;
+  for (std::size_t k = 0; k < cols.size(); ++k) {
+    const auto ab = cyber::measure_cost_decomposition(cols[k].a, opt.machine);
+    std::vector<int> iters;
+    for (const auto& row : cols[k].rows) {
+      if (row.m == 0 || row.parametrized) iters.push_back(row.iterations);
+    }
+    int count = 0;
+    for (std::size_t m = 1; m + 1 < iters.size(); ++m) {
+      if (core::prefer_m_plus_1(static_cast<int>(m) + 1, iters[m],
+                                iters[m + 1],
+                                {ab.a_seconds, ab.b_seconds})
+              .take_extra_step) {
+        ++count;
+      }
+    }
+    (k == 0 ? extra_small : extra_large) = count;
+  }
+  EXPECT_GE(extra_large, extra_small);
+}
+
+}  // namespace
+}  // namespace mstep

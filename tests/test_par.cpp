@@ -1,0 +1,159 @@
+// Tests for the shared-memory substrate: the thread pool and the parallel
+// multicolor sweep (race-freedom and bitwise determinism).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "color/coloring.hpp"
+#include "core/mstep.hpp"
+#include "core/multicolor_mstep.hpp"
+#include "core/params.hpp"
+#include "core/pcg.hpp"
+#include "fem/plane_stress.hpp"
+#include "par/colored_sweep.hpp"
+#include "par/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace mstep::par {
+namespace {
+
+TEST(ThreadPool, CoversFullRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.for_each(0, 1000, [&](index_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoOp) {
+  ThreadPool pool(3);
+  int calls = 0;
+  pool.for_range(5, 5, [&](index_t, index_t) { ++calls; });
+  pool.for_range(7, 3, [&](index_t, index_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, SerialFallbackForOneThread) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1);
+  std::vector<int> hits(64, 0);
+  pool.for_each(0, 64, [&](index_t i) { hits[i]++; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+}
+
+TEST(ThreadPool, ChunksPartitionRange) {
+  ThreadPool pool(4);
+  std::atomic<long long> sum{0};
+  pool.for_range(10, 5010, [&](index_t b, index_t e) {
+    long long local = 0;
+    for (index_t i = b; i < e; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  long long expect = 0;
+  for (index_t i = 10; i < 5010; ++i) expect += i;
+  EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> count{0};
+    pool.for_each(0, 97, [&](index_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 97) << "round " << round;
+  }
+}
+
+struct ColoredPlate {
+  fem::PlateMesh mesh;
+  la::CsrMatrix k;
+  Vec f;
+  color::ColoredSystem cs;
+};
+
+ColoredPlate make_plate(int a) {
+  fem::PlateMesh mesh = fem::PlateMesh::unit_square(a);
+  auto sys = fem::assemble_plane_stress(mesh, fem::Material{},
+                                        fem::EdgeLoad{1.0, 0.0});
+  auto cs = color::make_colored_system(sys.stiffness,
+                                       color::six_color_classes(mesh));
+  return {std::move(mesh), std::move(sys.stiffness), std::move(sys.load),
+          std::move(cs)};
+}
+
+class ParallelSweepBitwise : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelSweepBitwise, MatchesSerialExactly) {
+  // The decoupling property makes the parallel sweep deterministic: the
+  // result must be BITWISE the serial one, for any thread count.
+  const int threads = GetParam();
+  const auto p = make_plate(12);
+  const auto alphas = core::least_squares_alphas(3, core::ssor_interval());
+
+  const core::MulticolorMStepSsor serial(p.cs, alphas);
+  ThreadPool pool(threads);
+  const ParallelMulticolorMStepSsor parallel(p.cs, alphas, pool);
+
+  util::Rng rng(threads);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Vec r = rng.uniform_vector(p.cs.size());
+    Vec z1, z2;
+    serial.apply(r, z1);
+    parallel.apply(r, z2);
+    for (index_t i = 0; i < p.cs.size(); ++i) {
+      ASSERT_EQ(z1[i], z2[i]) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelSweepBitwise,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(ParallelSweep, DrivesPcgToSameIterationCount) {
+  const auto p = make_plate(10);
+  const Vec f = p.cs.permute(p.f);
+  const auto alphas = core::least_squares_alphas(4, core::ssor_interval());
+  core::PcgOptions opt;
+  opt.tolerance = 1e-8;
+
+  const core::MulticolorMStepSsor serial(p.cs, alphas);
+  const auto seq = core::pcg_solve(p.cs.matrix, f, serial, opt);
+
+  ThreadPool pool(4);
+  const ParallelMulticolorMStepSsor par_prec(p.cs, alphas, pool);
+  const auto par_res = core::pcg_solve(p.cs.matrix, f, par_prec, opt);
+
+  EXPECT_EQ(seq.iterations, par_res.iterations);
+  for (index_t i = 0; i < p.cs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(seq.solution[i], par_res.solution[i]);
+  }
+}
+
+TEST(ParallelSweep, WorksWithTwoColorPoisson) {
+  const fem::PoissonProblem prob(9, 7);
+  const auto a = prob.matrix();
+  const auto cs =
+      color::make_colored_system(a, color::two_color_classes(prob));
+  const auto alphas = core::unparametrized_alphas(2);
+  const core::MulticolorMStepSsor serial(cs, alphas);
+  ThreadPool pool(3);
+  const ParallelMulticolorMStepSsor parallel(cs, alphas, pool);
+  util::Rng rng(7);
+  const Vec r = rng.uniform_vector(cs.size());
+  Vec z1, z2;
+  serial.apply(r, z1);
+  parallel.apply(r, z2);
+  for (index_t i = 0; i < cs.size(); ++i) EXPECT_EQ(z1[i], z2[i]);
+}
+
+TEST(RowSplits, RejectsCoupledClasses) {
+  const fem::PoissonProblem prob(3, 3);
+  const auto a = prob.matrix();
+  color::ColorClasses one;
+  one.classes.assign(1, {});
+  for (index_t i = 0; i < a.rows(); ++i) one.classes[0].push_back(i);
+  const auto cs = color::make_colored_system(a, one);
+  EXPECT_THROW(color::compute_row_splits(cs), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mstep::par

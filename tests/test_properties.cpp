@@ -1,0 +1,245 @@
+// Cross-module property tests: FEM patch test, SPD sweeps over
+// preconditioner families, PCG on random SPD systems, the Adams-1982
+// condition ratio bound, and the eq.-(4.2) planner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "color/coloring.hpp"
+#include "core/condition.hpp"
+#include "core/mstep.hpp"
+#include "core/multicolor_mstep.hpp"
+#include "core/params.hpp"
+#include "core/pcg.hpp"
+#include "core/planner.hpp"
+#include "fem/plane_stress.hpp"
+#include "la/dense_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace mstep {
+namespace {
+
+// ---- FEM patch test -----------------------------------------------------------
+// A constant-strain displacement field must be reproduced exactly by CST
+// elements: K u_affine gives zero force at interior nodes.
+
+TEST(PatchTest, ConstantStrainFieldsAreEquilibrated) {
+  const fem::PlateMesh mesh(5, 6);
+  const fem::Material mat{2.0, 0.25, 1.0};
+  const la::CsrMatrix k = fem::assemble_free_stiffness(mesh, mat);
+
+  // u = a + b x + c y (per component): constant strain.
+  const double coeff[2][3] = {{0.3, 1.2, -0.7}, {-0.1, 0.5, 0.9}};
+  Vec u(k.rows());
+  for (index_t node = 0; node < mesh.num_nodes(); ++node) {
+    const double x = mesh.node_x(node);
+    const double y = mesh.node_y(node);
+    for (int d = 0; d < 2; ++d) {
+      u[2 * node + d] = coeff[d][0] + coeff[d][1] * x + coeff[d][2] * y;
+    }
+  }
+  Vec f;
+  k.multiply(u, f);
+  // Interior nodes (not on the boundary) must carry zero net force.
+  for (index_t node = 0; node < mesh.num_nodes(); ++node) {
+    const int r = mesh.node_row(node);
+    const int c = mesh.node_col(node);
+    if (r == 0 || c == 0 || r == mesh.nrows() - 1 || c == mesh.ncols() - 1) {
+      continue;
+    }
+    EXPECT_NEAR(f[2 * node], 0.0, 1e-10) << "node " << node;
+    EXPECT_NEAR(f[2 * node + 1], 0.0, 1e-10) << "node " << node;
+  }
+}
+
+TEST(PatchTest, EnergyOfConstantStrainMatchesContinuum) {
+  // For u = (x, 0): strain e_xx = 1, energy = 0.5 * t * area * D_00.
+  const fem::PlateMesh mesh(4, 4);
+  const fem::Material mat;
+  const la::CsrMatrix k = fem::assemble_free_stiffness(mesh, mat);
+  Vec u(k.rows(), 0.0);
+  for (index_t node = 0; node < mesh.num_nodes(); ++node) {
+    u[2 * node] = mesh.node_x(node);
+  }
+  Vec ku;
+  k.multiply(u, ku);
+  const double energy = 0.5 * la::dot(u, ku);
+  const double d00 = mat.constitutive()(0, 0);
+  EXPECT_NEAR(energy, 0.5 * mat.thickness * 1.0 * d00, 1e-10);
+}
+
+// ---- SPD property sweeps ---------------------------------------------------------
+
+struct SpdCase {
+  int m;
+  bool parametrized;
+};
+
+class MStepSpdSweep : public ::testing::TestWithParam<SpdCase> {};
+
+TEST_P(MStepSpdSweep, PreconditionerIsSpdOnPlate) {
+  const auto [m, parametrized] = GetParam();
+  const fem::PlateMesh mesh(4, 4);
+  const auto sys =
+      fem::assemble_plane_stress(mesh, fem::Material{}, fem::EdgeLoad{});
+  const auto cs = color::make_colored_system(sys.stiffness,
+                                             color::six_color_classes(mesh));
+  const auto alphas =
+      parametrized ? core::least_squares_alphas(m, core::ssor_interval())
+                   : core::unparametrized_alphas(m);
+  const core::MulticolorMStepSsor prec(cs, alphas);
+
+  const index_t n = cs.size();
+  la::DenseMatrix minv(n, n);
+  Vec e(n), z(n);
+  for (index_t j = 0; j < n; ++j) {
+    e.assign(n, 0.0);
+    e[j] = 1.0;
+    prec.apply(e, z);
+    for (index_t i = 0; i < n; ++i) minv(i, j) = z[i];
+  }
+  EXPECT_TRUE(minv.is_symmetric(1e-9)) << "m=" << m;
+  const auto ev = la::symmetric_eigenvalues(minv);
+  EXPECT_GT(ev.front(), 0.0) << "m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MStepSpdSweep,
+    ::testing::Values(SpdCase{1, false}, SpdCase{2, false}, SpdCase{2, true},
+                      SpdCase{3, false}, SpdCase{3, true}, SpdCase{4, true},
+                      SpdCase{5, true}, SpdCase{6, true}, SpdCase{8, true}));
+
+// ---- PCG on random SPD systems ------------------------------------------------------
+
+class RandomSpdPcg : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSpdPcg, ConvergesAndMatchesDirect) {
+  const int n = GetParam();
+  util::Rng rng(n);
+  // Sparse-ish random SPD: diagonally dominant with random couplings.
+  la::CooBuilder b(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (int t = 0; t < 3; ++t) {
+      const index_t j = static_cast<index_t>(rng.uniform_index(n));
+      if (j == i) continue;
+      const double v = rng.uniform(-1.0, 1.0);
+      b.add(i, j, v);
+      b.add(j, i, v);
+      row_sum += std::abs(v);
+    }
+    b.add(i, i, row_sum + 1.0 + rng.uniform());
+  }
+  // Symmetrize diagonal dominance: add |offdiag| margins on both rows.
+  la::CsrMatrix raw = b.build();
+  // Reinforce the diagonal so the symmetrized matrix is safely SPD.
+  la::CooBuilder b2(n, n);
+  const auto& rp = raw.row_ptr();
+  const auto& col = raw.col_idx();
+  const auto& val = raw.values();
+  for (index_t i = 0; i < n; ++i) {
+    double absrow = 0.0;
+    for (index_t t = rp[i]; t < rp[i + 1]; ++t) {
+      if (col[t] != i) {
+        b2.add(i, col[t], val[t]);
+        absrow += std::abs(val[t]);
+      }
+    }
+    b2.add(i, i, absrow + 1.0);
+  }
+  const la::CsrMatrix a = b2.build();
+  ASSERT_LT(a.symmetry_error(), 1e-12);
+
+  const Vec f = rng.uniform_vector(n);
+  core::PcgOptions opt;
+  opt.tolerance = 1e-12;
+  opt.stop_rule = core::StopRule::kResidual2;
+  const auto res = core::cg_solve(a, f, opt);
+  EXPECT_TRUE(res.converged);
+  const Vec direct = la::solve_cholesky(a.to_dense(), f);
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(res.solution[i], direct[i], 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomSpdPcg,
+                         ::testing::Values(5, 16, 33, 64, 101));
+
+// ---- Adams 1982 ratio bound -----------------------------------------------------------
+
+TEST(AdamsBound, UnparametrizedImprovementRatioEqualsM) {
+  // kappa_1 / kappa_m = m exactly when the SSOR spectrum reaches 1
+  // (s_m(lambda) = 1 - (1-lambda)^m; max over [l,1] is 1, and near l the
+  // map behaves like m*l).
+  const fem::PlateMesh mesh = fem::PlateMesh::unit_square(12);
+  const auto sys =
+      fem::assemble_plane_stress(mesh, fem::Material{}, fem::EdgeLoad{});
+  const auto cs = color::make_colored_system(sys.stiffness,
+                                             color::six_color_classes(mesh));
+  const core::MulticolorMStepSsor m1(cs, {1.0});
+  const double kappa1 =
+      core::estimate_preconditioned_condition(cs.matrix, m1).kappa;
+  for (int m = 2; m <= 6; ++m) {
+    const core::MulticolorMStepSsor prec(cs, core::unparametrized_alphas(m));
+    const double kappam =
+        core::estimate_preconditioned_condition(cs.matrix, prec).kappa;
+    EXPECT_NEAR(kappa1 / kappam, m, 0.05 * m) << "m=" << m;
+    EXPECT_LE(kappa1 / kappam, m * 1.01) << "bound violated at m=" << m;
+  }
+}
+
+// ---- eq. (4.2) planner -------------------------------------------------------------------
+
+TEST(Planner, PredictMatchesFormula) {
+  const core::StepCostModel costs{0.02, 0.008};
+  EXPECT_DOUBLE_EQ(costs.predict(3, 100), 100 * (0.02 + 3 * 0.008));
+}
+
+TEST(Planner, Criterion1WhenTotalInnerLoopsDrop) {
+  // m=2, N=30 -> m=3, N=19: 3*19=57 < 2*30=60 -> criterion 1.
+  const auto d = core::prefer_m_plus_1(2, 30, 19, {0.02, 0.01});
+  EXPECT_TRUE(d.criterion1);
+  EXPECT_TRUE(d.take_extra_step);
+}
+
+TEST(Planner, Criterion2ComparesAgainstBA) {
+  // m=4, N=40 -> 36: left = 4 / (36*5 - 40*4) = 0.2.
+  const core::StepCostModel cheap{1.0, 0.1};   // B/A = 0.1 < 0.2 -> yes
+  const core::StepCostModel costly{1.0, 0.3};  // B/A = 0.3 > 0.2 -> no
+  EXPECT_TRUE(core::prefer_m_plus_1(4, 40, 36, cheap).take_extra_step);
+  EXPECT_FALSE(core::prefer_m_plus_1(4, 40, 36, costly).take_extra_step);
+}
+
+TEST(Planner, DecisionConsistentWithDirectMinimum) {
+  // For a convex-ish N_m curve the greedy (4.2) rule and the direct argmin
+  // of T_m = N_m (A + mB) agree on when to stop.
+  const std::vector<int> iters = {100, 60, 43, 35, 30, 27, 25, 24};
+  const core::StepCostModel costs{0.05, 0.02};
+  const int best = core::optimal_steps(iters, costs);
+  // Walk the greedy rule.
+  int greedy = 0;
+  while (greedy + 1 < static_cast<int>(iters.size()) &&
+         core::prefer_m_plus_1(greedy, iters[greedy], iters[greedy + 1], costs)
+             .take_extra_step) {
+    ++greedy;
+  }
+  EXPECT_EQ(greedy, best);
+}
+
+TEST(Planner, OptimalStepsHandlesFlatCurve) {
+  // If the preconditioner does not help, m=0 must win.
+  const std::vector<int> iters = {50, 50, 50, 50};
+  EXPECT_EQ(core::optimal_steps(iters, {1.0, 0.5}), 0);
+}
+
+TEST(Planner, RejectsBadInput) {
+  EXPECT_THROW((void)core::optimal_steps({}, {1.0, 0.1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)core::prefer_m_plus_1(-1, 10, 9, {1.0, 0.1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)core::prefer_m_plus_1(2, 0, 9, {1.0, 0.1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mstep
