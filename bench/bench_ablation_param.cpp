@@ -7,17 +7,21 @@
 //      variant) at equal m,
 //   4. omega sweep for the multicolor SSOR splitting — the paper's
 //      Section 5 claim that omega = 1 is a good choice for this ordering.
+//
+// Every variant is a Solver config — the design space the facade's
+// registries expose — except the classic Neumann baseline, which stays on
+// its dedicated constructor.
 #include <iostream>
 #include <memory>
 
 #include "color/coloring.hpp"
 #include "core/baselines.hpp"
 #include "core/condition.hpp"
-#include "core/mstep.hpp"
 #include "core/multicolor_mstep.hpp"
 #include "core/params.hpp"
 #include "core/pcg.hpp"
 #include "fem/plane_stress.hpp"
+#include "solver/solver.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -30,78 +34,97 @@ int main(int argc, char** argv) {
   const fem::PlateMesh mesh = fem::PlateMesh::unit_square(a);
   const auto sys = fem::assemble_plane_stress(mesh, fem::Material{},
                                               fem::EdgeLoad{1.0, 0.0});
-  const auto cs = color::make_colored_system(sys.stiffness,
-                                             color::six_color_classes(mesh));
+  const auto classes = color::six_color_classes(mesh);
+  const auto cs = color::make_colored_system(sys.stiffness, classes);
   const Vec f = cs.permute(sys.load);
 
-  core::PcgOptions opt;
-  opt.tolerance = tol;
+  solver::SolverConfig base;
+  base.tolerance = tol;
+
+  // One facade run per (splitting spec, m, strategy, interval) point.
+  auto iterations = [&](solver::SolverConfig cfg) {
+    return solver::Solver::from_config(cfg)
+        .solve(sys.stiffness, sys.load, classes)
+        .iterations();
+  };
 
   std::cout << "== Ablation A2: preconditioner design choices ==\n"
                "plate a=" << a << ", N=" << cs.size() << ", tol=" << tol
             << " on |du|_inf\n\n";
 
-  const auto baseline = core::cg_solve(cs.matrix, f, opt);
-  std::cout << "plain CG iterations: " << baseline.iterations << "\n\n";
+  {
+    auto cfg = base;
+    cfg.steps = 0;
+    std::cout << "plain CG iterations: " << iterations(cfg) << "\n\n";
+  }
 
   // 1+2+3: iteration counts by preconditioner family and m.
   {
     util::Table t({"m", "SSOR plain", "SSOR least-sq [0,1]",
                    "SSOR least-sq (meas)", "SSOR min-max (meas)",
                    "Jacobi plain (DGR)", "Jacobi least-sq (JMP)"});
-    // Honest intervals: Jacobi via Lanczos on D^{-1/2}KD^{-1/2}; SSOR via
-    // preconditioned Lanczos on the 1-step operator.
-    const auto jac_iv = core::jacobi_interval(cs.matrix);
+    // Honest intervals: Jacobi via Lanczos on D^{-1/2}KD^{-1/2} (the
+    // registry default); SSOR via preconditioned Lanczos on the 1-step
+    // operator.
     const core::MulticolorMStepSsor ssor1(cs, {1.0});
     const auto est1 = core::estimate_preconditioned_condition(cs.matrix, ssor1);
     const core::SpectrumInterval ssor_meas{est1.lambda_min * 0.95,
                                            est1.lambda_max * 1.02};
+    const auto jac_iv = core::jacobi_interval(cs.matrix);  // one Lanczos run
+    core::PcgOptions opt;
+    opt.tolerance = tol;
     for (int m = 1; m <= 8; ++m) {
-      auto run_colored = [&](const std::vector<double>& alphas) {
-        const core::MulticolorMStepSsor prec(cs, alphas);
-        return core::pcg_solve(cs.matrix, f, prec, opt).iterations;
+      auto ssor_cfg = [&](const std::string& params,
+                          std::optional<core::SpectrumInterval> iv) {
+        auto cfg = base;
+        cfg.steps = m;
+        cfg.params = params;
+        cfg.interval = iv;
+        return cfg;
+      };
+      auto jacobi_cfg = [&] {
+        auto cfg = base;
+        cfg.splitting = "jacobi";
+        cfg.steps = m;
+        cfg.params = "lsq";
+        cfg.interval = jac_iv;  // hoisted: one Lanczos run for all m
+        return cfg;
       };
       auto run_neumann = [&] {
         const auto prec = core::make_neumann_preconditioner(cs.matrix, m);
         return core::pcg_solve(cs.matrix, f, *prec, opt).iterations;
       };
-      auto run_jmp = [&] {
-        const split::JacobiSplitting jac(cs.matrix);
-        const core::MStepPreconditioner prec(
-            cs.matrix, jac, core::least_squares_alphas(m, jac_iv));
-        return core::pcg_solve(cs.matrix, f, prec, opt).iterations;
-      };
       t.add_row(
           {util::Table::integer(m),
-           util::Table::integer(run_colored(core::unparametrized_alphas(m))),
-           util::Table::integer(run_colored(
-               core::least_squares_alphas(m, core::ssor_interval()))),
-           util::Table::integer(
-               run_colored(core::least_squares_alphas(m, ssor_meas))),
+           util::Table::integer(iterations(ssor_cfg("ones", std::nullopt))),
+           util::Table::integer(iterations(ssor_cfg("lsq", std::nullopt))),
+           util::Table::integer(iterations(ssor_cfg("lsq", ssor_meas))),
            m == 1 ? "-"
                   : util::Table::integer(
-                        run_colored(core::minmax_alphas(m, ssor_meas))),
+                        iterations(ssor_cfg("minmax", ssor_meas))),
            util::Table::integer(run_neumann()),
-           util::Table::integer(run_jmp())});
+           util::Table::integer(iterations(jacobi_cfg()))});
     }
     t.print(std::cout, "iterations by family and m");
   }
 
-  // 4: omega sweep for 1-step multicolor SSOR (generic engine supports any
-  // omega; the specialised Algorithm 2 kernel is the omega = 1 case).
+  // 4: omega sweep for multicolor SSOR.  omega = 1 takes the specialised
+  // Algorithm-2 kernel; the facade routes every other omega through the
+  // generic engine on the colour-permuted matrix.
   {
     std::cout << '\n';
     util::Table t({"omega", "iterations (m=1)", "iterations (m=3, plain)"});
     for (double omega : {0.6, 0.8, 0.9, 1.0, 1.1, 1.2, 1.4, 1.6}) {
-      const split::SsorSplitting ssor(cs.matrix, omega);
-      const core::MStepPreconditioner m1(cs.matrix, ssor, {1.0});
-      const core::MStepPreconditioner m3(cs.matrix, ssor,
-                                         core::unparametrized_alphas(3));
+      auto sweep = [&](int m) {
+        auto cfg = base;
+        cfg.splitting_options["omega"] = omega;
+        cfg.steps = m;
+        cfg.params = "ones";
+        return iterations(cfg);
+      };
       t.add_row({util::Table::fixed(omega, 1),
-                 util::Table::integer(
-                     core::pcg_solve(cs.matrix, f, m1, opt).iterations),
-                 util::Table::integer(
-                     core::pcg_solve(cs.matrix, f, m3, opt).iterations)});
+                 util::Table::integer(sweep(1)),
+                 util::Table::integer(sweep(3))});
     }
     t.print(std::cout,
             "omega sweep (Section 5: omega = 1 is good for this ordering)");

@@ -1,16 +1,13 @@
 // Extension bench (Section 5 future work): the m-step method on an
 // irregular region.  Colours the L-shaped plate with the greedy algorithm,
-// verifies the decoupled block structure, and sweeps m — showing that the
-// method's behaviour carries over from the rectangular plate once a valid
-// multicolouring exists.
+// verifies the decoupled block structure, and sweeps m through the Solver
+// facade — showing that the method's behaviour carries over from the
+// rectangular plate once a valid multicolouring exists.
 #include <iostream>
 
 #include "color/greedy.hpp"
-#include "core/mstep.hpp"
-#include "core/multicolor_mstep.hpp"
-#include "core/params.hpp"
-#include "core/pcg.hpp"
 #include "fem/tri_mesh.hpp"
+#include "solver/solver.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -47,27 +44,32 @@ int main(int argc, char** argv) {
     }
   }
   fem::add_point_load(mesh, tip, 0.0, -1.0, f);
-  const Vec fc = cs.permute(f);
 
-  core::PcgOptions opt;
-  opt.tolerance = cli.get_double("tol", 1e-6);
+  solver::SolverConfig base;
+  base.tolerance = cli.get_double("tol", 1e-6);
+
+  auto run = [&](solver::SolverConfig cfg) {
+    return solver::Solver::from_config(cfg).solve(k, f, classes);
+  };
 
   util::Table t({"m", "variant", "iterations", "inner products"});
-  const auto plain = core::cg_solve(cs.matrix, fc, opt);
-  t.add_row({"0", "-", util::Table::integer(plain.iterations),
-             util::Table::integer(plain.inner_products)});
+  {
+    auto cfg = base;
+    cfg.steps = 0;
+    const auto plain = run(cfg);
+    t.add_row({"0", "-", util::Table::integer(plain.iterations()),
+               util::Table::integer(plain.result.inner_products)});
+  }
   for (int m : {1, 2, 3, 4, 6, 8}) {
     for (int variant = 0; variant < 2; ++variant) {
       if (m == 1 && variant == 1) continue;
-      const auto alphas =
-          variant == 0
-              ? core::unparametrized_alphas(m)
-              : core::least_squares_alphas(m, core::ssor_interval());
-      const core::MulticolorMStepSsor prec(cs, alphas);
-      const auto res = core::pcg_solve(cs.matrix, fc, prec, opt);
+      auto cfg = base;
+      cfg.steps = m;
+      cfg.params = variant == 0 ? "ones" : "lsq";
+      const auto res = run(cfg);
       t.add_row({util::Table::integer(m), variant == 0 ? "plain" : "param",
-                 util::Table::integer(res.iterations),
-                 util::Table::integer(res.inner_products)});
+                 util::Table::integer(res.iterations()),
+                 util::Table::integer(res.result.inner_products)});
     }
   }
   t.print(std::cout, "m-step SSOR PCG on the L-shape");

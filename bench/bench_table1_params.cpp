@@ -2,20 +2,26 @@
 // m-step SSOR PCG method (spectrum interval [0, 1], normalized alpha_0=1),
 // and extends it with the min-max (Chebyshev) alternative and the
 // predicted condition number of the preconditioned eigenvalue map.
+//
+// The parameter criteria are pulled from the facade's strategy registry by
+// name — the same lookup a `--params=lsq` config line performs — so the
+// table covers exactly what the Solver can be configured with.
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/params.hpp"
+#include "solver/registry.hpp"
 #include "util/table.hpp"
 
 int main() {
   using mstep::core::SpectrumInterval;
-  using mstep::core::least_squares_alphas;
-  using mstep::core::minmax_alphas;
   using mstep::core::predicted_condition;
   using mstep::core::ssor_interval;
+  using mstep::solver::ParamStrategyRegistry;
   using mstep::util::Table;
+
+  auto& strategies = ParamStrategyRegistry::instance();
 
   std::cout << "== Table 1 reproduction ==\n"
                "alpha values for the m-step SSOR PCG method (least squares\n"
@@ -27,7 +33,7 @@ int main() {
   {
     Table t({"m", "a0", "a1", "a2", "a3", "a4", "a5"});
     for (int m = 2; m <= 6; ++m) {
-      const auto a = least_squares_alphas(m, ssor_interval());
+      const auto a = strategies.alphas("lsq", m, ssor_interval());
       std::vector<std::string> row = {Table::integer(m)};
       for (int i = 0; i < 6; ++i) {
         row.push_back(i < m ? Table::fixed(a[i], 2) : "");
@@ -44,12 +50,12 @@ int main() {
   {
     const SpectrumInterval iv{0.02, 1.0};
     Table t({"m", "criterion", "a0", "a1", "a2", "a3", "kappa_hat"});
+    const std::vector<std::pair<std::string, std::string>> criteria = {
+        {"lsq", "least-sq"}, {"minmax", "min-max"}};
     for (int m = 2; m <= 4; ++m) {
-      for (int which = 0; which < 2; ++which) {
-        const auto a = which == 0 ? least_squares_alphas(m, iv)
-                                  : minmax_alphas(m, iv);
-        std::vector<std::string> row = {
-            Table::integer(m), which == 0 ? "least-sq" : "min-max"};
+      for (const auto& [key, label] : criteria) {
+        const auto a = strategies.alphas(key, m, iv);
+        std::vector<std::string> row = {Table::integer(m), label};
         for (int i = 0; i < 4; ++i) {
           row.push_back(i < m ? Table::fixed(a[i], 3) : "");
         }

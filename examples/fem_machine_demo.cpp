@@ -5,8 +5,10 @@
 // Section 5 anticipates.
 #include <iostream>
 
+#include "color/coloring.hpp"
 #include "femsim/assignment.hpp"
 #include "femsim/dist_solver.hpp"
+#include "solver/solver.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -60,5 +62,22 @@ int main(int argc, char** argv) {
   std::cout << "\nwith the sum/max hardware circuit: "
             << res_hw.simulated_seconds << " s (software reductions: "
             << res.simulated_seconds << " s)\n";
+
+  // Cross-check: the distributed operator is exactly the sequential one,
+  // so the shared-memory Solver facade must reproduce the iteration count
+  // on the same system and config.
+  const auto sys =
+      fem::assemble_plane_stress(mesh, fem::Material{}, fem::EdgeLoad{1.0, 0.0});
+  mstep::solver::SolverConfig config;
+  config.steps = m;
+  config.tolerance = opt.tolerance;
+  const auto seq = mstep::solver::Solver::from_config(config).solve(
+      sys.stiffness, sys.load, color::six_color_classes(mesh));
+  std::cout << "\nfacade cross-check (" << config.to_string() << "):\n"
+            << "  sequential Solver: " << seq.iterations()
+            << " iterations, distributed simulator: " << res.iterations
+            << (seq.iterations() == res.iterations ? "  [match]"
+                                                   : "  [MISMATCH]")
+            << '\n';
   return res.converged ? 0 : 1;
 }

@@ -1,23 +1,26 @@
 // Irregular-region example (the paper's Section 5 open problem): an
 // L-shaped plate, clamped on the left edge and loaded at the bottom-right
 // tip, coloured by the greedy multicolor algorithm and solved with the
-// m-step SSOR PCG method.
+// m-step SSOR PCG method through the Solver facade.
 #include <iostream>
 
 #include "color/greedy.hpp"
-#include "core/mstep.hpp"
-#include "core/multicolor_mstep.hpp"
-#include "core/params.hpp"
-#include "core/pcg.hpp"
 #include "fem/tri_mesh.hpp"
+#include "solver/solver.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace mstep;
-  util::Cli cli(argc, argv, {"n", "m"});
+  auto flags = solver::SolverConfig::cli_flags();
+  flags.push_back("n");
+  util::Cli cli(argc, argv, flags);
   const int n = cli.get_int("n", 12);
-  const int m = cli.get_int("m", 4);
+
+  solver::SolverConfig config;
+  config.steps = 4;
+  config.tolerance = 1e-8;
+  config = solver::SolverConfig::from_cli(cli, config);
 
   const fem::TriMesh mesh = fem::TriMesh::l_shape(n);
   std::cout << "L-shaped plate: " << mesh.num_nodes() << " nodes, "
@@ -41,26 +44,25 @@ int main(int argc, char** argv) {
   }
   fem::add_point_load(mesh, tip, 0.0, -1.0, f);
 
-  const auto cs = color::make_colored_system(k, color::greedy_classes(mesh));
-  const Vec fc = cs.permute(f);
-
-  core::PcgOptions opt;
-  opt.tolerance = 1e-8;
+  const auto classes = color::greedy_classes(mesh);
 
   util::Table t({"method", "iterations", "inner products"});
-  const auto plain = core::cg_solve(cs.matrix, fc, opt);
-  t.add_row({"plain CG", util::Table::integer(plain.iterations),
-             util::Table::integer(plain.inner_products)});
-  const core::MulticolorMStepSsor prec(
-      cs, core::least_squares_alphas(m, core::ssor_interval()));
-  const auto res = core::pcg_solve(cs.matrix, fc, prec, opt);
-  t.add_row({"m-step SSOR (m=" + std::to_string(m) + ")",
-             util::Table::integer(res.iterations),
-             util::Table::integer(res.inner_products)});
+  auto plain_config = config;
+  plain_config.steps = 0;
+  const auto plain =
+      solver::Solver::from_config(plain_config).solve(k, f, classes);
+  t.add_row({"plain CG", util::Table::integer(plain.iterations()),
+             util::Table::integer(plain.result.inner_products)});
+
+  const auto report = solver::Solver::from_config(config).solve(k, f, classes);
+  t.add_row({"m-step " + config.splitting +
+                 " (m=" + std::to_string(config.steps) + ")",
+             util::Table::integer(report.iterations()),
+             util::Table::integer(report.result.inner_products)});
   t.print(std::cout);
 
-  const Vec u = cs.unpermute(res.solution);
-  std::cout << "\ntip deflection (u, v) = (" << u[mesh.equation_id(tip, 0)]
-            << ", " << u[mesh.equation_id(tip, 1)] << ")\n";
-  return res.converged ? 0 : 1;
+  std::cout << "\ntip deflection (u, v) = ("
+            << report.solution[mesh.equation_id(tip, 0)] << ", "
+            << report.solution[mesh.equation_id(tip, 1)] << ")\n";
+  return report.converged() ? 0 : 1;
 }

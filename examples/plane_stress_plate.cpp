@@ -2,15 +2,14 @@
 //
 // Solves the clamped plate under several edge loads and materials, prints
 // an ASCII displacement-magnitude map, and shows how the preconditioner
-// step count trades preconditioner work against CG iterations.
+// step count trades preconditioner work against CG iterations — each m is
+// the same Solver config with one field changed.
 #include <iomanip>
 #include <iostream>
 
 #include "color/coloring.hpp"
-#include "core/multicolor_mstep.hpp"
-#include "core/params.hpp"
-#include "core/pcg.hpp"
 #include "fem/plane_stress.hpp"
+#include "solver/solver.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -52,28 +51,22 @@ int main(int argc, char** argv) {
             << load.traction_y << ") on the right edge\n\n";
 
   const auto sys = fem::assemble_plane_stress(mesh, mat, load);
-  const auto cs = color::make_colored_system(sys.stiffness,
-                                             color::six_color_classes(mesh));
-  const Vec f = cs.permute(sys.load);
+  const auto classes = color::six_color_classes(mesh);
 
-  core::PcgOptions opt;
-  opt.tolerance = 1e-7;
+  solver::SolverConfig config;
+  config.tolerance = 1e-7;
 
   util::Table t({"m", "iterations", "inner products", "precond steps"});
   Vec best;
   for (int m : {0, 2, 4, 6}) {
-    core::PcgResult res;
-    if (m == 0) {
-      res = core::cg_solve(cs.matrix, f, opt);
-    } else {
-      const core::MulticolorMStepSsor prec(
-          cs, core::least_squares_alphas(m, core::ssor_interval()));
-      res = core::pcg_solve(cs.matrix, f, prec, opt);
-    }
-    t.add_row({util::Table::integer(m), util::Table::integer(res.iterations),
-               util::Table::integer(res.inner_products),
-               util::Table::integer(res.precond_applications * m)});
-    best = cs.unpermute(res.solution);
+    config.steps = m;
+    const auto report = solver::Solver::from_config(config).solve(
+        sys.stiffness, sys.load, classes);
+    t.add_row({util::Table::integer(m),
+               util::Table::integer(report.iterations()),
+               util::Table::integer(report.result.inner_products),
+               util::Table::integer(report.result.precond_applications * m)});
+    best = report.solution;
   }
   t.print(std::cout, "solver work vs preconditioner steps");
   std::cout << '\n';

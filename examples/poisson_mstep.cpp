@@ -4,24 +4,30 @@
 // Algorithm 2 extends to any multicolour-ordered discretization.
 //
 // Solves -lap u = f with a manufactured solution and reports both solver
-// behaviour and discretization error.
+// behaviour and discretization error.  Each method variant is one Solver
+// config; --splitting/--params/... override the defaults from the command
+// line.
 #include <cmath>
 #include <iostream>
 
 #include "color/coloring.hpp"
-#include "core/mstep.hpp"
-#include "core/multicolor_mstep.hpp"
-#include "core/params.hpp"
-#include "core/pcg.hpp"
 #include "fem/poisson.hpp"
+#include "solver/solver.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace mstep;
-  util::Cli cli(argc, argv, {"n", "m"});
+  auto flags = solver::SolverConfig::cli_flags();
+  flags.push_back("n");
+  util::Cli cli(argc, argv, flags);
   const int n = cli.get_int("n", 48);
-  const int m = cli.get_int("m", 3);
+
+  solver::SolverConfig base;
+  base.steps = 3;
+  base.tolerance = 1e-8;
+  base = solver::SolverConfig::from_cli(cli, base);
+  const int m = base.steps;
 
   const fem::PoissonProblem prob(n, n);
   const auto a = prob.matrix();
@@ -33,39 +39,39 @@ int main(int argc, char** argv) {
   });
 
   // Two colours suffice for the 5-point stencil.
-  const auto cs = color::make_colored_system(a, color::two_color_classes(prob));
-  const Vec fc = cs.permute(f);
+  const auto classes = color::two_color_classes(prob);
 
   std::cout << "Poisson " << n << "x" << n << " grid, N = " << a.rows()
             << ", red/black ordering, m = " << m << "\n\n";
 
-  core::PcgOptions opt;
-  opt.tolerance = 1e-8;
-
   util::Table t({"method", "iterations", "inner products", "max error"});
-  auto report = [&](const std::string& name, const core::PcgResult& res) {
-    const Vec u = cs.unpermute(res.solution);
+  auto report_row = [&](const std::string& name,
+                        const solver::SolveReport& rep) {
     double err = 0.0;
-    for (std::size_t i = 0; i < u.size(); ++i) {
-      err = std::max(err, std::abs(u[i] - exact[i]));
+    for (std::size_t i = 0; i < rep.solution.size(); ++i) {
+      err = std::max(err, std::abs(rep.solution[i] - exact[i]));
     }
-    t.add_row({name, util::Table::integer(res.iterations),
-               util::Table::integer(res.inner_products),
+    t.add_row({name, util::Table::integer(rep.iterations()),
+               util::Table::integer(rep.result.inner_products),
                util::Table::num(err, 3)});
   };
 
-  report("plain CG", core::cg_solve(cs.matrix, fc, opt));
+  auto run = [&](solver::SolverConfig cfg) {
+    return solver::Solver::from_config(cfg).solve(a, f, classes);
+  };
+
   {
-    const core::MulticolorMStepSsor prec(cs, core::unparametrized_alphas(m));
-    report("m-step SSOR (alpha=1)",
-           core::pcg_solve(cs.matrix, fc, prec, opt));
+    auto cfg = base;
+    cfg.steps = 0;
+    report_row("plain CG", run(cfg));
   }
   {
-    const core::MulticolorMStepSsor prec(
-        cs, core::least_squares_alphas(m, core::ssor_interval()));
-    report("m-step SSOR (least-sq)",
-           core::pcg_solve(cs.matrix, fc, prec, opt));
+    auto cfg = base;
+    cfg.params = "ones";
+    report_row("m-step " + base.splitting + " (alpha=1)", run(cfg));
   }
+  report_row("m-step " + base.splitting + " (" + base.params + ")",
+             run(base));
   t.print(std::cout);
   std::cout << "\n(max error is against the continuum solution, so it is\n"
                " discretization-limited at ~" << 1.0 / ((n + 1) * (n + 1))

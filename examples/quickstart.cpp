@@ -1,17 +1,16 @@
 // Quickstart: solve the paper's plane-stress plate with the m-step
-// multicolor SSOR preconditioned conjugate gradient method.
+// multicolor SSOR preconditioned conjugate gradient method — one config,
+// one call.
 //
-//   1. mesh the plate and assemble K u = f,
-//   2. colour the equations (six colours) and permute the system,
-//   3. build the m-step preconditioner with the Table 1 parameters,
-//   4. run PCG (Algorithm 1) and report the solve.
+// The Solver facade owns the whole pipeline (colour the equations, choose
+// the Table 1 alphas, build the Algorithm-2 preconditioner, run
+// Algorithm 1); the config below is the paper's method in declarative
+// form, and round-trips through the printed string.
 #include <iostream>
 
 #include "color/coloring.hpp"
-#include "core/multicolor_mstep.hpp"
-#include "core/params.hpp"
-#include "core/pcg.hpp"
 #include "fem/plane_stress.hpp"
+#include "solver/solver.hpp"
 
 int main() {
   using namespace mstep;
@@ -24,39 +23,42 @@ int main() {
   std::cout << "assembled: N = " << sys.stiffness.rows()
             << " equations, nnz = " << sys.stiffness.nnz() << "\n";
 
-  // Six-colour ordering (Red/Black/Green x u/v) decouples each colour class.
-  const auto cs = color::make_colored_system(sys.stiffness,
-                                             color::six_color_classes(mesh));
-  const Vec f = cs.permute(sys.load);
+  // m = 4 steps of parametrized SSOR with the six-colour ordering.
+  solver::SolverConfig config;
+  config.splitting = "ssor";
+  config.steps = 4;
+  config.params = "lsq";  // the least-squares alphas of Table 1
+  config.ordering = solver::Ordering::kMulticolor;
+  config.tolerance = 1e-6;  // on |u^{k+1} - u^k|_inf
+  std::cout << "config: " << config.to_string() << "\n";
 
-  // m = 4 steps of parametrized SSOR: the least-squares alphas of Table 1.
-  const int m = 4;
-  const auto alphas = core::least_squares_alphas(m, core::ssor_interval());
+  const auto solver = solver::Solver::from_config(config);
+  const auto report =
+      solver.solve(sys.stiffness, sys.load, color::six_color_classes(mesh));
+
   std::cout << "alphas (Table 1 row m=4):";
-  for (double a : alphas) std::cout << ' ' << a;
-  std::cout << '\n';
-
-  const core::MulticolorMStepSsor preconditioner(cs, alphas);
-  core::PcgOptions options;
-  options.tolerance = 1e-6;  // on |u^{k+1} - u^k|_inf
-
-  const auto result = core::pcg_solve(cs.matrix, f, preconditioner, options);
-  std::cout << "PCG converged: " << (result.converged ? "yes" : "no")
-            << " in " << result.iterations << " iterations ("
-            << result.inner_products << " inner products)\n"
-            << "final residual |f - Ku|_2 = " << result.final_residual2
+  for (double a : report.alphas) std::cout << ' ' << a;
+  std::cout << "\ncoloring: " << report.coloring.num_classes
+            << " classes\nPCG converged: "
+            << (report.converged() ? "yes" : "no") << " in "
+            << report.iterations() << " iterations ("
+            << report.result.inner_products << " inner products)\n"
+            << "final residual |f - Ku|_2 = " << report.result.final_residual2
             << '\n';
 
-  // Compare against plain CG.
-  const auto plain = core::cg_solve(cs.matrix, f, options);
-  std::cout << "plain CG needs " << plain.iterations << " iterations ("
-            << plain.inner_products << " inner products)\n";
+  // Compare against plain CG: same facade, m = 0, natural ordering.
+  auto plain_config = config;
+  plain_config.steps = 0;
+  plain_config.ordering = solver::Ordering::kNatural;
+  const auto plain =
+      solver::Solver::from_config(plain_config).solve(sys.stiffness, sys.load);
+  std::cout << "plain CG needs " << plain.iterations() << " iterations ("
+            << plain.result.inner_products << " inner products)\n";
 
-  // Back to the mesh ordering: report the loaded-edge tip displacement.
-  const Vec u = cs.unpermute(result.solution);
+  // The report's solution is already back in the mesh ordering.
   const index_t tip =
       mesh.equation_id(mesh.node_id(mesh.nrows() / 2, mesh.ncols() - 1), 0);
-  std::cout << "mid-edge x-displacement at the loaded edge: " << u[tip]
-            << '\n';
-  return result.converged ? 0 : 1;
+  std::cout << "mid-edge x-displacement at the loaded edge: "
+            << report.solution[tip] << '\n';
+  return report.converged() ? 0 : 1;
 }

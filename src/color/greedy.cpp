@@ -55,6 +55,25 @@ ColorClasses greedy_classes(const fem::TriMesh& mesh) {
   return cc;
 }
 
+ColorClasses greedy_classes_from_matrix(const la::CsrMatrix& k) {
+  const index_t n = k.rows();
+  std::vector<std::vector<index_t>> adjacency(n);
+  const auto& rp = k.row_ptr();
+  const auto& col = k.col_idx();
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t t = rp[i]; t < rp[i + 1]; ++t) {
+      if (col[t] != i) adjacency[i].push_back(col[t]);
+    }
+  }
+  const std::vector<int> color = greedy_vertex_coloring(adjacency);
+  int ncolors = 0;
+  for (int c : color) ncolors = std::max(ncolors, c + 1);
+  ColorClasses cc;
+  cc.classes.assign(ncolors, {});
+  for (index_t i = 0; i < n; ++i) cc.classes[color[i]].push_back(i);
+  return cc;
+}
+
 int greedy_color_count(const fem::TriMesh& mesh) {
   const std::vector<int> node_color =
       greedy_vertex_coloring(mesh.node_adjacency());

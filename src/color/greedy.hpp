@@ -29,4 +29,12 @@ namespace mstep::color {
 /// Number of node colours the greedy colouring used on this mesh.
 [[nodiscard]] int greedy_color_count(const fem::TriMesh& mesh);
 
+/// Equation classes for an arbitrary symmetric sparse matrix: greedy
+/// first-fit colouring of the off-diagonal adjacency graph, one class per
+/// colour, equations within a class ordered by row id.  No two coupled
+/// equations share a class, so every diagonal class block is diagonal —
+/// this is how the Solver facade multicolour-orders a system it only
+/// knows as a matrix.
+[[nodiscard]] ColorClasses greedy_classes_from_matrix(const la::CsrMatrix& k);
+
 }  // namespace mstep::color

@@ -5,21 +5,29 @@
 
 namespace mstep::core {
 
-PcgResult pcg_solve(const la::CsrMatrix& k, const Vec& f,
+PcgResult pcg_solve(const la::LinearOperator& k, const Vec& f,
                     const Preconditioner& m, const PcgOptions& options,
                     KernelLog* log, const Vec& u0) {
   const index_t n = k.rows();
   if (static_cast<index_t>(f.size()) != n || m.size() != n) {
     throw std::invalid_argument("pcg_solve: dimension mismatch");
   }
+  if (!(options.tolerance > 0.0)) {
+    throw std::invalid_argument("pcg_solve: tolerance must be positive");
+  }
+  if (options.max_iterations <= 0) {
+    throw std::invalid_argument("pcg_solve: max_iterations must be positive");
+  }
+  if (!u0.empty() && static_cast<index_t>(u0.size()) != n) {
+    throw std::invalid_argument("pcg_solve: initial guess has " +
+                                std::to_string(u0.size()) +
+                                " entries, system has " + std::to_string(n));
+  }
   const int ndiags =
       log ? static_cast<int>(k.num_nonzero_diagonals()) : 0;
 
   PcgResult res;
   Vec u = u0.empty() ? Vec(n, 0.0) : u0;
-  if (static_cast<index_t>(u.size()) != n) {
-    throw std::invalid_argument("pcg_solve: bad initial guess size");
-  }
 
   // r0 = f - K u0
   Vec r(n);
@@ -124,10 +132,21 @@ PcgResult pcg_solve(const la::CsrMatrix& k, const Vec& f,
   return res;
 }
 
-PcgResult cg_solve(const la::CsrMatrix& k, const Vec& f,
+PcgResult pcg_solve(const la::CsrMatrix& k, const Vec& f,
+                    const Preconditioner& m, const PcgOptions& options,
+                    KernelLog* log, const Vec& u0) {
+  return pcg_solve(la::CsrOperator(k), f, m, options, log, u0);
+}
+
+PcgResult cg_solve(const la::LinearOperator& k, const Vec& f,
                    const PcgOptions& options, KernelLog* log, const Vec& u0) {
   const IdentityPreconditioner ident(k.rows());
   return pcg_solve(k, f, ident, options, log, u0);
+}
+
+PcgResult cg_solve(const la::CsrMatrix& k, const Vec& f,
+                   const PcgOptions& options, KernelLog* log, const Vec& u0) {
+  return cg_solve(la::CsrOperator(k), f, options, log, u0);
 }
 
 }  // namespace mstep::core

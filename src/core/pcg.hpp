@@ -1,5 +1,9 @@
 // Algorithm 1 of the paper: preconditioned conjugate gradients with the
 // |u^{k+1} - u^k|_inf stopping test.
+//
+// The solver is written against la::LinearOperator, so CSR and
+// diagonal-storage (DIA) matrices flow through the same solve path; the
+// CsrMatrix overloads below keep the historical call sites unchanged.
 #pragma once
 
 #include <vector>
@@ -7,6 +11,7 @@
 #include "core/kernel_log.hpp"
 #include "core/preconditioner.hpp"
 #include "la/csr_matrix.hpp"
+#include "la/linear_operator.hpp"
 
 namespace mstep::core {
 
@@ -35,7 +40,14 @@ struct PcgResult {
 
 /// Solve K u = f with preconditioner M (Algorithm 1).  `u0` is the initial
 /// guess (zero if empty).  Instrumentation callbacks go to `log` when
-/// non-null.
+/// non-null.  Throws std::invalid_argument on dimension mismatches, a
+/// non-positive tolerance, or a non-positive iteration limit.
+[[nodiscard]] PcgResult pcg_solve(const la::LinearOperator& k, const Vec& f,
+                                  const Preconditioner& m,
+                                  const PcgOptions& options = {},
+                                  KernelLog* log = nullptr,
+                                  const Vec& u0 = {});
+
 [[nodiscard]] PcgResult pcg_solve(const la::CsrMatrix& k, const Vec& f,
                                   const Preconditioner& m,
                                   const PcgOptions& options = {},
@@ -43,6 +55,10 @@ struct PcgResult {
                                   const Vec& u0 = {});
 
 /// Plain conjugate gradients (M = I, the paper's m = 0 baseline).
+[[nodiscard]] PcgResult cg_solve(const la::LinearOperator& k, const Vec& f,
+                                 const PcgOptions& options = {},
+                                 KernelLog* log = nullptr, const Vec& u0 = {});
+
 [[nodiscard]] PcgResult cg_solve(const la::CsrMatrix& k, const Vec& f,
                                  const PcgOptions& options = {},
                                  KernelLog* log = nullptr, const Vec& u0 = {});

@@ -3,6 +3,7 @@
 #include "cyber/masked_layout.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "color/coloring.hpp"
 #include "core/multicolor_mstep.hpp"
@@ -101,7 +102,9 @@ CostDecomposition measure_cost_decomposition(int plate_size,
   const ColoredPlate plate = build_plate(plate_size);
   core::PcgOptions opt;
   opt.max_iterations = 5;
-  opt.tolerance = 0.0;  // force exactly max_iterations iterations
+  // Smallest positive tolerance — unreachable in practice, forcing exactly
+  // max_iterations iterations (pcg_solve rejects a non-positive tolerance).
+  opt.tolerance = std::numeric_limits<double>::denorm_min();
 
   CyberModel model_a(machine);
   (void)core::cg_solve(plate.cs.matrix, plate.f, opt, &model_a);

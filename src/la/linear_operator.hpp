@@ -1,0 +1,78 @@
+// Minimal square-operator view for the solve path.
+//
+// Algorithm 1 needs only y = A x (and the derived residual update) from
+// the system matrix, so the PCG driver is written against this non-owning
+// view rather than a concrete storage format.  CSR and the Madsen–
+// Rodrigue–Karush diagonal storage both adapt to it, letting one solver
+// serve both the general-sparsity path and the vector-machine layout the
+// paper times in Section 3.1.
+#pragma once
+
+#include "la/csr_matrix.hpp"
+#include "la/dia_matrix.hpp"
+#include "la/vector.hpp"
+
+namespace mstep::la {
+
+/// Non-owning view of a square linear operator.  The viewed matrix must
+/// outlive the view.
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  [[nodiscard]] virtual index_t rows() const = 0;
+
+  /// y = A x
+  virtual void multiply(const Vec& x, Vec& y) const = 0;
+
+  /// y = y - A x
+  virtual void multiply_sub(const Vec& x, Vec& y) const = 0;
+
+  /// Number of nonzero (generalized) diagonals — the instrumentation
+  /// stream prices an SpMV as this many vector triads (Section 3.1).
+  [[nodiscard]] virtual index_t num_nonzero_diagonals() const = 0;
+
+  /// r = b - A x
+  void residual(const Vec& b, const Vec& x, Vec& r) const {
+    r = b;
+    multiply_sub(x, r);
+  }
+};
+
+/// CSR-backed view.
+class CsrOperator final : public LinearOperator {
+ public:
+  explicit CsrOperator(const CsrMatrix& a) : a_(&a) {}
+
+  [[nodiscard]] index_t rows() const override { return a_->rows(); }
+  void multiply(const Vec& x, Vec& y) const override { a_->multiply(x, y); }
+  void multiply_sub(const Vec& x, Vec& y) const override {
+    a_->multiply_sub(x, y);
+  }
+  [[nodiscard]] index_t num_nonzero_diagonals() const override {
+    return a_->num_nonzero_diagonals();
+  }
+
+ private:
+  const CsrMatrix* a_;
+};
+
+/// Diagonal-storage-backed view (the CYBER 203/205 kernel layout).
+class DiaOperator final : public LinearOperator {
+ public:
+  explicit DiaOperator(const DiaMatrix& a) : a_(&a) {}
+
+  [[nodiscard]] index_t rows() const override { return a_->rows(); }
+  void multiply(const Vec& x, Vec& y) const override { a_->multiply(x, y); }
+  void multiply_sub(const Vec& x, Vec& y) const override {
+    a_->multiply_sub(x, y);
+  }
+  [[nodiscard]] index_t num_nonzero_diagonals() const override {
+    return a_->num_diagonals();
+  }
+
+ private:
+  const DiaMatrix* a_;
+};
+
+}  // namespace mstep::la

@@ -1,0 +1,270 @@
+#include "solver/config.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace mstep::solver {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Trim to the shortest representation that parses back exactly.
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+    if (std::stod(shorter) == v) return shorter;
+  }
+  return buf;
+}
+
+double parse_double(const std::string& text, const std::string& what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("SolverConfig: bad " + what + " value '" +
+                                text + "'");
+  }
+}
+
+int parse_int(const std::string& text, const std::string& what) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("SolverConfig: bad " + what + " value '" +
+                                text + "'");
+  }
+}
+
+Ordering parse_ordering(const std::string& text) {
+  if (text == "natural") return Ordering::kNatural;
+  if (text == "multicolor") return Ordering::kMulticolor;
+  throw std::invalid_argument(
+      "SolverConfig: ordering must be 'natural' or 'multicolor', got '" +
+      text + "'");
+}
+
+MatrixFormat parse_format(const std::string& text) {
+  if (text == "csr") return MatrixFormat::kCsr;
+  if (text == "dia") return MatrixFormat::kDia;
+  throw std::invalid_argument(
+      "SolverConfig: format must be 'csr' or 'dia', got '" + text + "'");
+}
+
+core::StopRule parse_stop(const std::string& text) {
+  if (text == "delta_inf") return core::StopRule::kDeltaInf;
+  if (text == "residual2") return core::StopRule::kResidual2;
+  throw std::invalid_argument(
+      "SolverConfig: stop must be 'delta_inf' or 'residual2', got '" + text +
+      "'");
+}
+
+/// "ssor:omega=1.2:..." -> name + options.
+void parse_splitting_spec(const std::string& text, std::string* name,
+                          SplitOptions* options) {
+  std::stringstream ss(text);
+  std::string piece;
+  bool first = true;
+  while (std::getline(ss, piece, ':')) {
+    if (first) {
+      *name = piece;
+      first = false;
+      continue;
+    }
+    const auto eq = piece.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument(
+          "SolverConfig: splitting option must be key=value, got '" + piece +
+          "'");
+    }
+    (*options)[piece.substr(0, eq)] =
+        parse_double(piece.substr(eq + 1), "splitting option " + piece);
+  }
+  if (name->empty()) {
+    throw std::invalid_argument("SolverConfig: empty splitting spec");
+  }
+}
+
+std::string splitting_spec_string(const std::string& name,
+                                  const SplitOptions& options) {
+  std::string out = name;
+  for (const auto& [key, value] : options) {
+    out += ':' + key + '=' + format_double(value);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(Ordering o) {
+  return o == Ordering::kNatural ? "natural" : "multicolor";
+}
+
+std::string to_string(MatrixFormat f) {
+  return f == MatrixFormat::kCsr ? "csr" : "dia";
+}
+
+std::string to_string(core::StopRule s) {
+  return s == core::StopRule::kDeltaInf ? "delta_inf" : "residual2";
+}
+
+void SolverConfig::validate() const {
+  auto& splittings = SplittingRegistry::instance();
+  // at() throws with the known names listed when the key is unregistered;
+  // check_options also runs the entry's own range checks (SSOR omega).
+  (void)splittings.at(splitting);
+  splittings.check_options(splitting, splitting_options);
+  if (steps < 0) {
+    throw std::invalid_argument("SolverConfig: steps (m) must be >= 0");
+  }
+  if (steps > 0 && !ParamStrategyRegistry::instance().contains(params)) {
+    // alphas() throws with the known names listed.
+    (void)ParamStrategyRegistry::instance().alphas(params, 1, {});
+  }
+  if (!(tolerance > 0.0)) {
+    throw std::invalid_argument("SolverConfig: tolerance must be positive");
+  }
+  if (max_iterations <= 0) {
+    throw std::invalid_argument(
+        "SolverConfig: max_iterations must be positive");
+  }
+  if (interval && !(interval->lambda_min < interval->lambda_max)) {
+    throw std::invalid_argument(
+        "SolverConfig: interval needs lambda_min < lambda_max");
+  }
+}
+
+std::string SolverConfig::to_string() const {
+  std::string out =
+      "splitting=" + splitting_spec_string(splitting, splitting_options) +
+      ";m=" + std::to_string(steps) + ";params=" + params +
+      ";ordering=" + solver::to_string(ordering) +
+      ";format=" + solver::to_string(format) +
+      ";stop=" + solver::to_string(stop_rule) +
+      ";tol=" + format_double(tolerance) +
+      ";maxit=" + std::to_string(max_iterations);
+  if (record_history) out += ";history=1";
+  if (interval) {
+    out += ";interval=" + format_double(interval->lambda_min) + ',' +
+           format_double(interval->lambda_max);
+  }
+  return out;
+}
+
+SolverConfig SolverConfig::from_string(const std::string& text) {
+  SolverConfig cfg;
+  std::stringstream ss(text);
+  std::string field;
+  while (std::getline(ss, field, ';')) {
+    if (field.empty()) continue;
+    const auto eq = field.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument(
+          "SolverConfig: expected key=value, got '" + field + "'");
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "splitting") {
+      cfg.splitting.clear();
+      cfg.splitting_options.clear();
+      parse_splitting_spec(value, &cfg.splitting, &cfg.splitting_options);
+    } else if (key == "m") {
+      cfg.steps = parse_int(value, "m");
+    } else if (key == "params") {
+      cfg.params = value;
+    } else if (key == "ordering") {
+      cfg.ordering = parse_ordering(value);
+    } else if (key == "format") {
+      cfg.format = parse_format(value);
+    } else if (key == "stop") {
+      cfg.stop_rule = parse_stop(value);
+    } else if (key == "tol") {
+      cfg.tolerance = parse_double(value, "tol");
+    } else if (key == "maxit") {
+      cfg.max_iterations = parse_int(value, "maxit");
+    } else if (key == "history") {
+      cfg.record_history = parse_int(value, "history") != 0;
+    } else if (key == "interval") {
+      const auto comma = value.find(',');
+      if (comma == std::string::npos) {
+        throw std::invalid_argument(
+            "SolverConfig: interval must be 'lo,hi', got '" + value + "'");
+      }
+      cfg.interval = core::SpectrumInterval{
+          parse_double(value.substr(0, comma), "interval"),
+          parse_double(value.substr(comma + 1), "interval")};
+    } else {
+      throw std::invalid_argument("SolverConfig: unknown field '" + key +
+                                  "'");
+    }
+  }
+  cfg.validate();
+  return cfg;
+}
+
+SolverConfig SolverConfig::from_cli(const util::Cli& cli,
+                                    const SolverConfig& defaults) {
+  SolverConfig cfg = defaults;
+  if (cli.has("splitting")) {
+    cfg.splitting.clear();
+    cfg.splitting_options.clear();
+    parse_splitting_spec(cli.get("splitting", ""), &cfg.splitting,
+                         &cfg.splitting_options);
+  }
+  if (cli.has("m")) cfg.steps = cli.get_int("m", cfg.steps);
+  if (cli.has("params")) cfg.params = cli.get("params", cfg.params);
+  if (cli.has("ordering")) {
+    cfg.ordering = parse_ordering(cli.get("ordering", ""));
+  }
+  if (cli.has("format")) cfg.format = parse_format(cli.get("format", ""));
+  if (cli.has("stop")) cfg.stop_rule = parse_stop(cli.get("stop", ""));
+  if (cli.has("tol")) cfg.tolerance = cli.get_double("tol", cfg.tolerance);
+  if (cli.has("maxit")) {
+    cfg.max_iterations = cli.get_int("maxit", cfg.max_iterations);
+  }
+  cfg.validate();
+  return cfg;
+}
+
+SolverConfig SolverConfig::from_cli(const util::Cli& cli) {
+  return from_cli(cli, SolverConfig{});
+}
+
+std::vector<std::string> SolverConfig::cli_flags() {
+  return {"splitting", "m",    "params", "ordering",
+          "format",    "stop", "tol",    "maxit"};
+}
+
+core::PcgOptions SolverConfig::pcg_options() const {
+  core::PcgOptions opt;
+  opt.max_iterations = max_iterations;
+  opt.tolerance = tolerance;
+  opt.stop_rule = stop_rule;
+  opt.record_history = record_history;
+  return opt;
+}
+
+bool operator==(const SolverConfig& a, const SolverConfig& b) {
+  const bool iv_equal =
+      a.interval.has_value() == b.interval.has_value() &&
+      (!a.interval || (a.interval->lambda_min == b.interval->lambda_min &&
+                       a.interval->lambda_max == b.interval->lambda_max));
+  return a.splitting == b.splitting &&
+         a.splitting_options == b.splitting_options && a.steps == b.steps &&
+         a.params == b.params && a.ordering == b.ordering &&
+         a.format == b.format && a.stop_rule == b.stop_rule &&
+         a.tolerance == b.tolerance &&
+         a.max_iterations == b.max_iterations &&
+         a.record_history == b.record_history && iv_equal;
+}
+
+}  // namespace mstep::solver

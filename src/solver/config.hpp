@@ -1,0 +1,80 @@
+// Declarative solve configuration for the mstep::solver facade.
+//
+// Every knob the paper studies — splitting (and its omega), step count m,
+// alpha parametrization, equation ordering, stopping rule — is one field
+// here, and the whole config round-trips through a compact string form:
+//
+//   splitting=ssor:omega=1.2;m=4;params=lsq;ordering=multicolor;
+//   format=csr;stop=delta_inf;tol=1e-06;maxit=20000
+//
+// so an experiment is reproducible from one line of a log, and a CLI
+// driver exposes the full design space as --splitting/--m/--params/...
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/pcg.hpp"
+#include "solver/registry.hpp"
+#include "util/cli.hpp"
+
+namespace mstep::solver {
+
+/// Equation ordering applied before the solve.
+enum class Ordering {
+  kNatural,     // solve in the caller's ordering
+  kMulticolor,  // colour-permute first (Section 3)
+};
+
+/// Storage format the outer CG matrix-vector products run on.
+enum class MatrixFormat {
+  kCsr,  // general sparsity
+  kDia,  // by diagonals — the CYBER 203/205 layout (Section 3.1)
+};
+
+struct SolverConfig {
+  std::string splitting = "ssor";
+  SplitOptions splitting_options;        // e.g. {"omega", 1.2}
+  int steps = 4;                         // m; 0 = plain CG
+  std::string params = "lsq";            // parameter strategy key
+  Ordering ordering = Ordering::kMulticolor;
+  MatrixFormat format = MatrixFormat::kCsr;
+  core::StopRule stop_rule = core::StopRule::kDeltaInf;
+  double tolerance = 1e-6;
+  int max_iterations = 20000;
+  bool record_history = false;
+  /// Spectrum interval for the parameter strategy; the splitting's default
+  /// (e.g. [0, 1] for SSOR) when unset.
+  std::optional<core::SpectrumInterval> interval;
+
+  /// Throws std::invalid_argument if any field is out of range or names an
+  /// unregistered splitting/strategy (SSOR omega must lie in (0, 2)).
+  void validate() const;
+
+  /// Serialize; from_string(to_string()) reproduces every field.
+  [[nodiscard]] std::string to_string() const;
+  static SolverConfig from_string(const std::string& text);
+
+  /// Read the config flags out of a parsed command line; flags that are
+  /// absent keep `defaults`.
+  static SolverConfig from_cli(const util::Cli& cli,
+                               const SolverConfig& defaults);
+  static SolverConfig from_cli(const util::Cli& cli);
+  /// Flag names from_cli consumes — append to a driver's allowed list.
+  static std::vector<std::string> cli_flags();
+
+  [[nodiscard]] core::PcgOptions pcg_options() const;
+
+  friend bool operator==(const SolverConfig& a, const SolverConfig& b);
+  friend bool operator!=(const SolverConfig& a, const SolverConfig& b) {
+    return !(a == b);
+  }
+};
+
+[[nodiscard]] std::string to_string(Ordering o);
+[[nodiscard]] std::string to_string(MatrixFormat f);
+[[nodiscard]] std::string to_string(core::StopRule s);
+
+}  // namespace mstep::solver

@@ -1,0 +1,176 @@
+#include "solver/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/condition.hpp"
+#include "core/mstep.hpp"
+
+namespace mstep::solver {
+
+namespace {
+
+std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+double option_or(const SplitOptions& options, const std::string& key,
+                 double fallback) {
+  auto it = options.find(key);
+  return it == options.end() ? fallback : it->second;
+}
+
+SplittingRegistry make_splitting_registry() {
+  SplittingRegistry reg;
+
+  SplittingRegistry::Entry jacobi;
+  jacobi.factory = [](const la::CsrMatrix& k, const SplitOptions&) {
+    return std::make_unique<split::JacobiSplitting>(k);
+  };
+  jacobi.default_interval = [](const la::CsrMatrix& k, const SplitOptions&) {
+    return core::jacobi_interval(k);
+  };
+  reg.add("jacobi", std::move(jacobi));
+
+  SplittingRegistry::Entry ssor;
+  ssor.factory = [](const la::CsrMatrix& k, const SplitOptions& options) {
+    return std::make_unique<split::SsorSplitting>(
+        k, option_or(options, "omega", 1.0));
+  };
+  ssor.default_interval = [](const la::CsrMatrix&, const SplitOptions&) {
+    return core::ssor_interval();
+  };
+  ssor.option_keys = {"omega"};
+  ssor.validate_options = [](const SplitOptions& options) {
+    const double omega = option_or(options, "omega", 1.0);
+    if (!(omega > 0.0) || !(omega < 2.0)) {
+      throw std::invalid_argument("SSOR omega must lie in (0, 2), got " +
+                                  std::to_string(omega));
+    }
+  };
+  reg.add("ssor", std::move(ssor));
+
+  SplittingRegistry::Entry richardson;
+  richardson.factory = [](const la::CsrMatrix& k,
+                          const SplitOptions& options) {
+    return std::make_unique<split::RichardsonSplitting>(
+        k.rows(), option_or(options, "theta", 1.0));
+  };
+  richardson.default_interval = [](const la::CsrMatrix& k,
+                                   const SplitOptions& options) {
+    // sigma(P^{-1}K) = theta * sigma(K); Lanczos bounds, slightly widened.
+    const double theta = option_or(options, "theta", 1.0);
+    const auto est = core::estimate_condition(k);
+    return core::SpectrumInterval{0.98 * theta * est.lambda_min,
+                                  1.02 * theta * est.lambda_max};
+  };
+  richardson.option_keys = {"theta"};
+  reg.add("richardson", std::move(richardson));
+
+  return reg;
+}
+
+ParamStrategyRegistry make_param_registry() {
+  ParamStrategyRegistry reg;
+  reg.add("ones", [](int m, core::SpectrumInterval) {
+    return core::unparametrized_alphas(m);
+  });
+  reg.add("lsq", [](int m, core::SpectrumInterval iv) {
+    return core::least_squares_alphas(m, iv);
+  });
+  reg.add("minmax", [](int m, core::SpectrumInterval iv) {
+    return core::minmax_alphas(m, iv);
+  });
+  return reg;
+}
+
+}  // namespace
+
+SplittingRegistry& SplittingRegistry::instance() {
+  static SplittingRegistry reg = make_splitting_registry();
+  return reg;
+}
+
+void SplittingRegistry::add(const std::string& name, Entry entry) {
+  if (!entry.factory || !entry.default_interval) {
+    throw std::invalid_argument("SplittingRegistry: entry for '" + name +
+                                "' needs a factory and a default interval");
+  }
+  entries_[name] = std::move(entry);
+}
+
+bool SplittingRegistry::contains(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+const SplittingRegistry::Entry& SplittingRegistry::at(
+    const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("unknown splitting '" + name + "' (known: " +
+                                join_names(names()) + ")");
+  }
+  return it->second;
+}
+
+std::vector<std::string> SplittingRegistry::names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+void SplittingRegistry::check_options(const std::string& name,
+                                      const SplitOptions& options) const {
+  const Entry& entry = at(name);
+  for (const auto& [key, value] : options) {
+    if (std::find(entry.option_keys.begin(), entry.option_keys.end(), key) ==
+        entry.option_keys.end()) {
+      throw std::invalid_argument("splitting '" + name +
+                                  "' does not take option '" + key + "'");
+    }
+  }
+  if (entry.validate_options) entry.validate_options(options);
+}
+
+std::unique_ptr<split::Splitting> SplittingRegistry::create(
+    const std::string& name, const la::CsrMatrix& k,
+    const SplitOptions& options) const {
+  check_options(name, options);
+  return at(name).factory(k, options);
+}
+
+ParamStrategyRegistry& ParamStrategyRegistry::instance() {
+  static ParamStrategyRegistry reg = make_param_registry();
+  return reg;
+}
+
+void ParamStrategyRegistry::add(const std::string& name, Strategy strategy) {
+  strategies_[name] = std::move(strategy);
+}
+
+bool ParamStrategyRegistry::contains(const std::string& name) const {
+  return strategies_.count(name) > 0;
+}
+
+std::vector<std::string> ParamStrategyRegistry::names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, s] : strategies_) out.push_back(name);
+  return out;
+}
+
+std::vector<double> ParamStrategyRegistry::alphas(
+    const std::string& name, int m, core::SpectrumInterval iv) const {
+  auto it = strategies_.find(name);
+  if (it == strategies_.end()) {
+    throw std::invalid_argument("unknown parameter strategy '" + name +
+                                "' (known: " + join_names(names()) + ")");
+  }
+  return it->second(m, iv);
+}
+
+}  // namespace mstep::solver

@@ -1,0 +1,91 @@
+// String-keyed runtime registries backing the Solver facade.
+//
+// A splitting or parameter strategy becomes available to SolverConfig,
+// the config-string parser, and every CLI driver the moment it is
+// registered here — new combinations are a config line, not a new driver.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "la/csr_matrix.hpp"
+#include "split/splitting.hpp"
+
+namespace mstep::solver {
+
+/// Numeric options attached to a splitting spec, e.g. {"omega", 1.2} for
+/// "ssor:omega=1.2".
+using SplitOptions = std::map<std::string, double>;
+
+/// Creates splittings of a concrete matrix and knows a default spectrum
+/// interval for sigma(P^{-1}K) — the interval the parameter strategies
+/// optimize over when the config does not pin one.
+class SplittingRegistry {
+ public:
+  struct Entry {
+    /// Build the splitting; throws std::invalid_argument on bad options
+    /// (e.g. SSOR omega outside (0, 2)).
+    std::function<std::unique_ptr<split::Splitting>(const la::CsrMatrix&,
+                                                    const SplitOptions&)>
+        factory;
+    /// Default spectrum interval of P^{-1}K for this splitting of `k`.
+    std::function<core::SpectrumInterval(const la::CsrMatrix&,
+                                         const SplitOptions&)>
+        default_interval;
+    /// Option keys the factory accepts; anything else is rejected early.
+    std::vector<std::string> option_keys;
+    /// Optional config-time range validation of the options (throws
+    /// std::invalid_argument) — runs from check_options, i.e. already at
+    /// SolverConfig parse/validate time, before any matrix exists.
+    std::function<void(const SplitOptions&)> validate_options;
+  };
+
+  /// The process-wide registry, pre-populated with the built-ins
+  /// ("jacobi", "ssor", "richardson").
+  static SplittingRegistry& instance();
+
+  void add(const std::string& name, Entry entry);
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] const Entry& at(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Validate that `options` only uses keys the named splitting accepts
+  /// and pass the entry's own range checks (e.g. SSOR omega in (0, 2)).
+  void check_options(const std::string& name,
+                     const SplitOptions& options) const;
+
+  [[nodiscard]] std::unique_ptr<split::Splitting> create(
+      const std::string& name, const la::CsrMatrix& k,
+      const SplitOptions& options = {}) const;
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+/// Maps a strategy name to the alpha coefficients of eq. (2.6).
+class ParamStrategyRegistry {
+ public:
+  using Strategy =
+      std::function<std::vector<double>(int m, core::SpectrumInterval)>;
+
+  /// The process-wide registry, pre-populated with the built-ins
+  /// ("ones" — unparametrized, "lsq" — least squares, "minmax" —
+  /// Chebyshev).
+  static ParamStrategyRegistry& instance();
+
+  void add(const std::string& name, Strategy strategy);
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  [[nodiscard]] std::vector<double> alphas(const std::string& name, int m,
+                                           core::SpectrumInterval iv) const;
+
+ private:
+  std::map<std::string, Strategy> strategies_;
+};
+
+}  // namespace mstep::solver

@@ -1,0 +1,147 @@
+#include "solver/solver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "color/greedy.hpp"
+#include "core/mstep.hpp"
+#include "core/multicolor_mstep.hpp"
+
+namespace mstep::solver {
+
+namespace {
+
+ColoringStats stats_from(const color::ColoredSystem& cs) {
+  ColoringStats stats;
+  stats.used = true;
+  stats.num_classes = cs.num_classes();
+  stats.min_class_size = cs.size();
+  stats.max_class_size = 0;
+  for (int c = 0; c < cs.num_classes(); ++c) {
+    stats.min_class_size = std::min(stats.min_class_size, cs.class_size(c));
+    stats.max_class_size = std::max(stats.max_class_size, cs.class_size(c));
+  }
+  return stats;
+}
+
+double ssor_omega(const SolverConfig& config) {
+  const auto it = config.splitting_options.find("omega");
+  return it == config.splitting_options.end() ? 1.0 : it->second;
+}
+
+}  // namespace
+
+Solver Solver::from_config(SolverConfig config) {
+  config.validate();
+  return Solver(std::move(config));
+}
+
+Solver Solver::from_string(const std::string& text) {
+  return from_config(SolverConfig::from_string(text));
+}
+
+Prepared Solver::prepare(const la::CsrMatrix& k, core::KernelLog* log) const {
+  if (config_.ordering == Ordering::kMulticolor) {
+    return prepare(k, color::greedy_classes_from_matrix(k), log);
+  }
+  return prepare(k, color::ColorClasses{}, log);
+}
+
+Prepared Solver::prepare(const la::CsrMatrix& k,
+                         const color::ColorClasses& classes,
+                         core::KernelLog* log) const {
+  if (k.rows() != k.cols()) {
+    throw std::invalid_argument("Solver: matrix must be square");
+  }
+  Prepared p;
+  p.config_ = config_;
+  p.log_ = log;
+
+  // 1. Ordering.
+  if (config_.ordering == Ordering::kMulticolor) {
+    if (classes.num_classes() == 0) {
+      throw std::invalid_argument(
+          "Solver: multicolor ordering needs colour classes");
+    }
+    p.cs_ = std::make_unique<color::ColoredSystem>(
+        color::make_colored_system(k, classes));
+    p.matrix_ = &p.cs_->matrix;
+    p.stats_ = stats_from(*p.cs_);
+  } else {
+    p.matrix_ = &k;
+  }
+
+  // 2. Parameters and preconditioner (splitting via the registries).
+  if (config_.steps > 0) {
+    const auto& entry = SplittingRegistry::instance().at(config_.splitting);
+    p.interval_ = config_.interval
+                      ? *config_.interval
+                      : entry.default_interval(*p.matrix_,
+                                               config_.splitting_options);
+    p.alphas_ = ParamStrategyRegistry::instance().alphas(
+        config_.params, config_.steps, p.interval_);
+
+    // Algorithm-2 fast path: the Conrad–Wallach multicolor sweep is the
+    // SSOR(omega = 1) m-step operator on the colour-permuted matrix.
+    if (p.cs_ && config_.splitting == "ssor" && ssor_omega(config_) == 1.0) {
+      p.precond_ = std::make_unique<core::MulticolorMStepSsor>(
+          *p.cs_, p.alphas_, log);
+    } else {
+      p.splitting_ = SplittingRegistry::instance().create(
+          config_.splitting, *p.matrix_, config_.splitting_options);
+      p.precond_ = std::make_unique<core::MStepPreconditioner>(
+          *p.matrix_, *p.splitting_, p.alphas_, log);
+    }
+  } else {
+    p.precond_ = std::make_unique<core::IdentityPreconditioner>(
+        p.matrix_->rows());
+  }
+
+  // 3. Operator view for the outer CG products.
+  if (config_.format == MatrixFormat::kDia) {
+    p.dia_ =
+        std::make_unique<la::DiaMatrix>(la::DiaMatrix::from_csr(*p.matrix_));
+    p.op_ = std::make_unique<la::DiaOperator>(*p.dia_);
+  } else {
+    p.op_ = std::make_unique<la::CsrOperator>(*p.matrix_);
+  }
+  return p;
+}
+
+SolveReport Solver::solve(const la::CsrMatrix& k, const Vec& f,
+                          core::KernelLog* log, const Vec& u0) const {
+  return prepare(k, log).solve(f, u0);
+}
+
+SolveReport Solver::solve(const la::CsrMatrix& k, const Vec& f,
+                          const color::ColorClasses& classes,
+                          core::KernelLog* log, const Vec& u0) const {
+  return prepare(k, classes, log).solve(f, u0);
+}
+
+Vec Prepared::permute(const Vec& x) const {
+  return cs_ ? cs_->permute(x) : x;
+}
+
+Vec Prepared::unpermute(const Vec& x) const {
+  return cs_ ? cs_->unpermute(x) : x;
+}
+
+SolveReport Prepared::solve(const Vec& f, const Vec& u0) const {
+  const Vec fp = permute(f);
+  const Vec u0p = u0.empty() ? Vec{} : permute(u0);
+
+  SolveReport report;
+  report.result =
+      core::pcg_solve(*op_, fp, *precond_, config_.pcg_options(), log_, u0p);
+  report.solution = unpermute(report.result.solution);
+  report.alphas = alphas_;
+  report.interval = interval_;
+  report.coloring = stats_;
+  report.preconditioner_name = precond_->name();
+  report.steps = config_.steps;
+  return report;
+}
+
+}  // namespace mstep::solver

@@ -1,0 +1,139 @@
+// The mstep::Solver facade — the paper's whole pipeline behind one call.
+//
+//   auto report = Solver::from_config(config).solve(K, f);
+//
+// owns: multicolour ordering (caller-supplied classes or a greedy matrix
+// colouring), splitting construction through the registry, alpha selection
+// through the parameter-strategy registry, preconditioner assembly (with
+// the Algorithm-2 Conrad–Wallach fast path when it applies), the CSR/DIA
+// operator choice, and PCG itself.  Prepared splits the pipeline from the
+// solve so one factorization serves many right-hand sides.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "color/coloring.hpp"
+#include "core/pcg.hpp"
+#include "core/planner.hpp"
+#include "core/preconditioner.hpp"
+#include "la/dia_matrix.hpp"
+#include "la/linear_operator.hpp"
+#include "solver/config.hpp"
+#include "split/splitting.hpp"
+
+namespace mstep::solver {
+
+/// How the multicolour stage reshaped the system (all zero when the solve
+/// ran in the caller's ordering).
+struct ColoringStats {
+  bool used = false;
+  int num_classes = 0;
+  index_t min_class_size = 0;
+  index_t max_class_size = 0;
+};
+
+/// Everything a solve produced: the PCG result plus the pipeline choices
+/// that explain it.
+struct SolveReport {
+  core::PcgResult result;      // solution in the solve ordering
+  Vec solution;                // solution in the caller's ordering
+  std::vector<double> alphas;  // chosen coefficients; empty for m = 0
+  core::SpectrumInterval interval{};  // interval the strategy optimized over
+  ColoringStats coloring;
+  std::string preconditioner_name;
+  int steps = 0;
+
+  [[nodiscard]] bool converged() const { return result.converged; }
+  [[nodiscard]] int iterations() const { return result.iterations; }
+
+  /// Eq. (4.1) hook: predicted seconds under a measured cost decomposition.
+  [[nodiscard]] double predicted_seconds(
+      const core::StepCostModel& costs) const {
+    return costs.predict(steps, result.iterations);
+  }
+};
+
+class Prepared;
+
+class Solver {
+ public:
+  /// Validates the config (throws std::invalid_argument on bad fields).
+  static Solver from_config(SolverConfig config);
+  /// Convenience: from_config(SolverConfig::from_string(text)).
+  static Solver from_string(const std::string& text);
+
+  [[nodiscard]] const SolverConfig& config() const { return config_; }
+
+  /// Instantiate the pipeline on a concrete (square, SPD) matrix.  With a
+  /// multicolour ordering and no caller classes, the equations are
+  /// coloured greedily from the matrix graph.  `k` must outlive the
+  /// returned object; `log` (optional) receives the kernel stream of both
+  /// preconditioner assembly-time applications and later solves.
+  [[nodiscard]] Prepared prepare(const la::CsrMatrix& k,
+                                 core::KernelLog* log = nullptr) const;
+  [[nodiscard]] Prepared prepare(const la::CsrMatrix& k,
+                                 const color::ColorClasses& classes,
+                                 core::KernelLog* log = nullptr) const;
+
+  /// One-call form: prepare + solve.  `f` and `u0` are in the caller's
+  /// ordering, as is the returned report's `solution`.
+  [[nodiscard]] SolveReport solve(const la::CsrMatrix& k, const Vec& f,
+                                  core::KernelLog* log = nullptr,
+                                  const Vec& u0 = {}) const;
+  [[nodiscard]] SolveReport solve(const la::CsrMatrix& k, const Vec& f,
+                                  const color::ColorClasses& classes,
+                                  core::KernelLog* log = nullptr,
+                                  const Vec& u0 = {}) const;
+
+ private:
+  explicit Solver(SolverConfig config) : config_(std::move(config)) {}
+
+  SolverConfig config_;
+};
+
+/// An instantiated pipeline bound to one matrix: the coloured system, the
+/// splitting, the alphas, the preconditioner, and the operator view.
+/// Reusable across right-hand sides.
+class Prepared {
+ public:
+  /// Solve for one right-hand side (caller's ordering, as is `u0`).
+  [[nodiscard]] SolveReport solve(const Vec& f, const Vec& u0 = {}) const;
+
+  /// The matrix PCG iterates on (colour-permuted when multicolour).
+  [[nodiscard]] const la::CsrMatrix& matrix() const { return *matrix_; }
+  [[nodiscard]] const core::Preconditioner& preconditioner() const {
+    return *precond_;
+  }
+  [[nodiscard]] const std::vector<double>& alphas() const { return alphas_; }
+  [[nodiscard]] core::SpectrumInterval interval() const { return interval_; }
+  [[nodiscard]] const ColoringStats& coloring() const { return stats_; }
+  [[nodiscard]] const SolverConfig& config() const { return config_; }
+
+  /// Caller ordering <-> solve ordering (identity when natural).
+  [[nodiscard]] Vec permute(const Vec& x) const;
+  [[nodiscard]] Vec unpermute(const Vec& x) const;
+
+ private:
+  friend class Solver;
+  Prepared() = default;
+
+  SolverConfig config_;
+  // cs_ and dia_ live on the heap so every internal pointer (matrix_, the
+  // operator view, the preconditioner's system reference) stays valid when
+  // a Prepared is moved.
+  std::unique_ptr<color::ColoredSystem> cs_;  // set when multicolour
+  const la::CsrMatrix* matrix_ = nullptr;     // cs_->matrix or the caller's k
+  std::unique_ptr<la::DiaMatrix> dia_;        // set when format == dia
+  std::unique_ptr<la::LinearOperator> op_;
+  std::unique_ptr<split::Splitting> splitting_;
+  std::unique_ptr<core::Preconditioner> precond_;
+  std::vector<double> alphas_;
+  core::SpectrumInterval interval_{};
+  ColoringStats stats_;
+  core::KernelLog* log_ = nullptr;
+};
+
+}  // namespace mstep::solver

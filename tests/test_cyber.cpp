@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "color/coloring.hpp"
 #include "core/kernel_log.hpp"
@@ -73,7 +74,7 @@ TEST(CountingLog, CountsPcgKernels) {
                                               fem::EdgeLoad{1.0, 0.0});
   core::CountingLog log;
   core::PcgOptions opt;
-  opt.tolerance = 0.0;
+  opt.tolerance = std::numeric_limits<double>::denorm_min();  // unreachable
   opt.max_iterations = 4;  // run exactly 4 iterations
   (void)core::cg_solve(sys.stiffness, sys.load, opt, &log);
   EXPECT_EQ(log.iterations, 4);
@@ -97,7 +98,7 @@ TEST(CountingLog, PrecondStepsCounted) {
   const core::MulticolorMStepSsor prec(cs, core::unparametrized_alphas(m),
                                        &log);
   core::PcgOptions opt;
-  opt.tolerance = 0.0;
+  opt.tolerance = std::numeric_limits<double>::denorm_min();  // unreachable
   opt.max_iterations = 5;
   (void)core::pcg_solve(cs.matrix, cs.permute(sys.load), prec, opt, &log);
   // (iterations + 1 initial) preconditioner applications, m steps each.

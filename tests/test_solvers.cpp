@@ -1,5 +1,8 @@
 // Integration tests: splittings, the m-step preconditioner (generic and
-// multicolor Algorithm-2 forms), and PCG (Algorithm 1).
+// multicolor Algorithm-2 forms), and PCG (Algorithm 1).  The pipeline
+// comparison tests (preconditioned vs plain, m sweeps, parametrized vs
+// not) run through the Solver facade — the path every example and bench
+// uses; the operator-level unit tests stay on the low-level classes.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -15,6 +18,7 @@
 #include "fem/plane_stress.hpp"
 #include "fem/poisson.hpp"
 #include "la/dense_matrix.hpp"
+#include "solver/solver.hpp"
 #include "util/rng.hpp"
 
 namespace mstep::core {
@@ -287,18 +291,22 @@ TEST(Pcg, SolutionMatchesDirectSolve) {
 
 TEST(Pcg, PreconditioningReducesIterations) {
   const auto p = make_plate(8, 8);
-  PcgOptions opt;
-  opt.tolerance = 1e-8;
-  const auto plain = cg_solve(p.cs.matrix, p.f_colored, opt);
+  solver::SolverConfig cfg;
+  cfg.tolerance = 1e-8;
+  const auto classes = color::six_color_classes(p.mesh);
 
-  const auto alphas = least_squares_alphas(3, ssor_interval());
-  const MulticolorMStepSsor m3(p.cs, alphas);
-  const auto pre = pcg_solve(p.cs.matrix, p.f_colored, m3, opt);
+  auto plain_cfg = cfg;
+  plain_cfg.steps = 0;
+  const auto plain =
+      solver::Solver::from_config(plain_cfg).solve(p.k, p.f, classes);
 
-  EXPECT_TRUE(plain.converged);
-  EXPECT_TRUE(pre.converged);
-  EXPECT_LT(pre.iterations, plain.iterations / 2);
-  // Same solution either way.
+  cfg.steps = 3;
+  const auto pre = solver::Solver::from_config(cfg).solve(p.k, p.f, classes);
+
+  EXPECT_TRUE(plain.converged());
+  EXPECT_TRUE(pre.converged());
+  EXPECT_LT(pre.iterations(), plain.iterations() / 2);
+  // Same solution either way (both reports are in the mesh ordering).
   double err = 0.0;
   for (index_t i = 0; i < p.cs.size(); ++i) {
     err = std::max(err, std::abs(pre.solution[i] - plain.solution[i]));
@@ -308,31 +316,33 @@ TEST(Pcg, PreconditioningReducesIterations) {
 
 TEST(Pcg, IterationsDecreaseMonotonicallyInM) {
   const auto p = make_plate(8, 8);
-  PcgOptions opt;
-  opt.tolerance = 1e-8;
+  const auto classes = color::six_color_classes(p.mesh);
+  solver::SolverConfig cfg;
+  cfg.tolerance = 1e-8;
   int prev = 1 << 30;
   for (int m = 1; m <= 5; ++m) {
-    const MulticolorMStepSsor prec(p.cs,
-                                   least_squares_alphas(m, ssor_interval()));
-    const auto res = pcg_solve(p.cs.matrix, p.f_colored, prec, opt);
-    EXPECT_TRUE(res.converged);
-    EXPECT_LE(res.iterations, prev) << "m=" << m;
-    prev = res.iterations;
+    cfg.steps = m;
+    const auto res = solver::Solver::from_config(cfg).solve(p.k, p.f, classes);
+    EXPECT_TRUE(res.converged());
+    EXPECT_LE(res.iterations(), prev) << "m=" << m;
+    prev = res.iterations();
   }
 }
 
 TEST(Pcg, ParametrizedBeatsUnparametrized) {
   // Observation (1) of the paper's Table 2 discussion.
   const auto p = make_plate(10, 10);
-  PcgOptions opt;
-  opt.tolerance = 1e-8;
+  const auto classes = color::six_color_classes(p.mesh);
+  solver::SolverConfig cfg;
+  cfg.tolerance = 1e-8;
   for (int m : {2, 3, 4}) {
-    const MulticolorMStepSsor un(p.cs, unparametrized_alphas(m));
-    const MulticolorMStepSsor par(p.cs,
-                                  least_squares_alphas(m, ssor_interval()));
-    const auto run = pcg_solve(p.cs.matrix, p.f_colored, un, opt);
-    const auto rpar = pcg_solve(p.cs.matrix, p.f_colored, par, opt);
-    EXPECT_LE(rpar.iterations, run.iterations) << "m=" << m;
+    cfg.steps = m;
+    cfg.params = "ones";
+    const auto run = solver::Solver::from_config(cfg).solve(p.k, p.f, classes);
+    cfg.params = "lsq";
+    const auto rpar =
+        solver::Solver::from_config(cfg).solve(p.k, p.f, classes);
+    EXPECT_LE(rpar.iterations(), run.iterations()) << "m=" << m;
   }
 }
 
@@ -444,16 +454,17 @@ TEST(Baselines, JmpParametrizedBeatsPlainNeumann) {
 }
 
 TEST(Baselines, SsorMStepBeatsJacobiMStepAtEqualM) {
-  // The SSOR splitting approximates K better than Jacobi at the same m.
+  // The SSOR splitting approximates K better than Jacobi at the same m —
+  // one facade config field flipped.
   const auto p = make_plate(10, 10);
-  PcgOptions opt;
-  opt.tolerance = 1e-8;
-  const MulticolorMStepSsor ssor3(p.cs,
-                                  least_squares_alphas(3, ssor_interval()));
-  const auto jmp = make_jmp_preconditioner(p.cs.matrix, 3);
-  const auto rs = pcg_solve(p.cs.matrix, p.f_colored, ssor3, opt);
-  const auto rj = pcg_solve(p.cs.matrix, p.f_colored, *jmp, opt);
-  EXPECT_LT(rs.iterations, rj.iterations);
+  const auto classes = color::six_color_classes(p.mesh);
+  solver::SolverConfig cfg;
+  cfg.tolerance = 1e-8;
+  cfg.steps = 3;
+  const auto rs = solver::Solver::from_config(cfg).solve(p.k, p.f, classes);
+  cfg.splitting = "jacobi";
+  const auto rj = solver::Solver::from_config(cfg).solve(p.k, p.f, classes);
+  EXPECT_LT(rs.iterations(), rj.iterations());
 }
 
 }  // namespace
