@@ -1,6 +1,7 @@
 #include "color/coloring.hpp"
 
 #include <cassert>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -189,6 +190,34 @@ RowSplits compute_row_splits(const ColoredSystem& cs) {
     }
   }
   return rs;
+}
+
+ClassDiagonalCensus compute_class_diagonal_census(const ColoredSystem& cs,
+                                                  const RowSplits& splits) {
+  const int nc = cs.num_classes();
+  ClassDiagonalCensus census;
+  census.lower.assign(nc, 0);
+  census.upper.assign(nc, 0);
+
+  const auto& rp = cs.matrix.row_ptr();
+  const auto& col = cs.matrix.col_idx();
+  const auto& val = cs.matrix.values();
+
+  for (int c = 0; c < nc; ++c) {
+    std::set<index_t> lower_offsets;
+    std::set<index_t> upper_offsets;
+    for (index_t i = cs.class_start[c]; i < cs.class_start[c + 1]; ++i) {
+      for (index_t u = rp[i]; u < splits.lo_end[i]; ++u) {
+        if (val[u] != 0.0) lower_offsets.insert(col[u] - i);
+      }
+      for (index_t u = splits.up_begin[i]; u < rp[i + 1]; ++u) {
+        if (val[u] != 0.0) upper_offsets.insert(col[u] - i);
+      }
+    }
+    census.lower[c] = static_cast<int>(lower_offsets.size());
+    census.upper[c] = static_cast<int>(upper_offsets.size());
+  }
+  return census;
 }
 
 }  // namespace mstep::color

@@ -100,4 +100,17 @@ struct RowSplits {
 
 [[nodiscard]] RowSplits compute_row_splits(const ColoredSystem& cs);
 
+/// Per-class count of distinct nonzero (generalized) diagonals in the
+/// strictly-lower-class and strictly-upper-class blocks.  The kernel
+/// instrumentation prices one class sweep as this many vector triads
+/// (Section 3.1); both the serial and the threaded multicolor sweep report
+/// through it.
+struct ClassDiagonalCensus {
+  std::vector<int> lower;  // per class
+  std::vector<int> upper;
+};
+
+[[nodiscard]] ClassDiagonalCensus compute_class_diagonal_census(
+    const ColoredSystem& cs, const RowSplits& splits);
+
 }  // namespace mstep::color

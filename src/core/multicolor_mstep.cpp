@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <set>
 #include <stdexcept>
 
 namespace mstep::core {
@@ -15,29 +14,10 @@ MulticolorMStepSsor::MulticolorMStepSsor(const color::ColoredSystem& cs,
   if (alphas_.empty()) {
     throw std::invalid_argument("MulticolorMStepSsor: need m >= 1");
   }
-  const la::CsrMatrix& a = cs.matrix;
-  const int nc = cs.num_classes();
-  ndiags_lower_.assign(nc, 0);
-  ndiags_upper_.assign(nc, 0);
-
-  const auto& rp = a.row_ptr();
-  const auto& col = a.col_idx();
-  const auto& val = a.values();
-
-  for (int c = 0; c < nc; ++c) {
-    std::set<index_t> lower_offsets;
-    std::set<index_t> upper_offsets;
-    for (index_t i = cs.class_start[c]; i < cs.class_start[c + 1]; ++i) {
-      for (index_t u = rp[i]; u < splits_.lo_end[i]; ++u) {
-        if (val[u] != 0.0) lower_offsets.insert(col[u] - i);
-      }
-      for (index_t u = splits_.up_begin[i]; u < rp[i + 1]; ++u) {
-        if (val[u] != 0.0) upper_offsets.insert(col[u] - i);
-      }
-    }
-    ndiags_lower_[c] = static_cast<int>(lower_offsets.size());
-    ndiags_upper_[c] = static_cast<int>(upper_offsets.size());
-  }
+  const color::ClassDiagonalCensus census =
+      color::compute_class_diagonal_census(cs, splits_);
+  ndiags_lower_ = census.lower;
+  ndiags_upper_ = census.upper;
 }
 
 double MulticolorMStepSsor::lower_sum(index_t i, const Vec& z) const {

@@ -3,11 +3,25 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "par/execution.hpp"
+
 namespace mstep::core {
+
+namespace {
+
+/// Shared serial policy for calls that pass no execution engine.
+const par::Execution& serial_execution() {
+  static const par::Execution serial;
+  return serial;
+}
+
+}  // namespace
 
 PcgResult pcg_solve(const la::LinearOperator& k, const Vec& f,
                     const Preconditioner& m, const PcgOptions& options,
-                    KernelLog* log, const Vec& u0) {
+                    KernelLog* log, const Vec& u0,
+                    const par::Execution* exec) {
+  const par::Execution& ex = exec ? *exec : serial_execution();
   const index_t n = k.rows();
   if (static_cast<index_t>(f.size()) != n || m.size() != n) {
     throw std::invalid_argument("pcg_solve: dimension mismatch");
@@ -31,7 +45,7 @@ PcgResult pcg_solve(const la::LinearOperator& k, const Vec& f,
 
   // r0 = f - K u0
   Vec r(n);
-  k.residual(f, u, r);
+  k.residual(f, u, r, ex);
   if (log) {
     log->spmv_diagonals(n, ndiags);
     log->vec_op(n, 1);
@@ -40,7 +54,7 @@ PcgResult pcg_solve(const la::LinearOperator& k, const Vec& f,
   // Already at the solution (e.g. zero right-hand side with a zero guess):
   // report convergence without entering the loop, where the zero curvature
   // p^T K p would otherwise read as a breakdown.
-  if (la::nrm2(r) == 0.0) {
+  if (ex.nrm2(r) == 0.0) {
     res.converged = true;
     res.solution = std::move(u);
     return res;
@@ -53,17 +67,17 @@ PcgResult pcg_solve(const la::LinearOperator& k, const Vec& f,
   Vec p = z;
   if (log) log->vec_op(n, 1);
 
-  double rho = la::dot(z, r);
+  double rho = ex.dot(z, r);
   if (log) log->dot_op(n);
   res.inner_products++;
 
   Vec w(n);
-  const double f_norm = la::nrm2(f);
+  const double f_norm = ex.nrm2(f);
 
   for (int it = 0; it < options.max_iterations; ++it) {
     // w = K p ; alpha = rho / (p, w)
-    k.multiply(p, w);
-    const double pw = la::dot(p, w);
+    k.multiply(p, w, ex);
+    const double pw = ex.dot(p, w);
     if (log) {
       log->spmv_diagonals(n, ndiags);
       log->dot_op(n);
@@ -77,19 +91,14 @@ PcgResult pcg_solve(const la::LinearOperator& k, const Vec& f,
     const double alpha = rho / pw;
 
     // u^{k+1} = u^k + alpha p ; stopping quantity before overwriting.
-    double delta_inf = 0.0;
-    for (index_t i = 0; i < n; ++i) {
-      const double step = alpha * p[i];
-      u[i] += step;
-      delta_inf = std::max(delta_inf, std::abs(step));
-    }
+    const double delta_inf = ex.step_update_max(alpha, p, u);
     if (log) {
       log->vec_op(n, 1);
       log->max_op(n);
     }
 
     // r^{k+1} = r^k - alpha w
-    la::axpy(-alpha, w, r);
+    ex.axpy(-alpha, w, r);
     if (log) log->vec_op(n, 1);
 
     res.iterations = it + 1;
@@ -100,7 +109,7 @@ PcgResult pcg_solve(const la::LinearOperator& k, const Vec& f,
       if (options.record_history) res.history.push_back(delta_inf);
       stop = delta_inf < options.tolerance;
     } else {
-      const double rn = la::nrm2(r);
+      const double rn = ex.nrm2(r);
       res.final_residual2 = rn;
       if (options.record_history) res.history.push_back(rn);
       stop = rn < options.tolerance * (f_norm > 0 ? f_norm : 1.0);
@@ -114,19 +123,19 @@ PcgResult pcg_solve(const la::LinearOperator& k, const Vec& f,
     // z = M^{-1} r ; beta = rho_new / rho ; p = z + beta p
     m.apply(r, z);
     res.precond_applications++;
-    const double rho_new = la::dot(z, r);
+    const double rho_new = ex.dot(z, r);
     if (log) log->dot_op(n);
     res.inner_products++;
     const double beta = rho_new / rho;
     rho = rho_new;
-    la::xpay(z, beta, p);
+    ex.xpay(z, beta, p);
     if (log) log->vec_op(n, 1);
   }
 
   res.final_residual2 = [&] {
     Vec rr(n);
-    k.residual(f, u, rr);
-    return la::nrm2(rr);
+    k.residual(f, u, rr, ex);
+    return ex.nrm2(rr);
   }();
   res.solution = std::move(u);
   return res;
@@ -134,19 +143,22 @@ PcgResult pcg_solve(const la::LinearOperator& k, const Vec& f,
 
 PcgResult pcg_solve(const la::CsrMatrix& k, const Vec& f,
                     const Preconditioner& m, const PcgOptions& options,
-                    KernelLog* log, const Vec& u0) {
-  return pcg_solve(la::CsrOperator(k), f, m, options, log, u0);
+                    KernelLog* log, const Vec& u0,
+                    const par::Execution* exec) {
+  return pcg_solve(la::CsrOperator(k), f, m, options, log, u0, exec);
 }
 
 PcgResult cg_solve(const la::LinearOperator& k, const Vec& f,
-                   const PcgOptions& options, KernelLog* log, const Vec& u0) {
+                   const PcgOptions& options, KernelLog* log, const Vec& u0,
+                   const par::Execution* exec) {
   const IdentityPreconditioner ident(k.rows());
-  return pcg_solve(k, f, ident, options, log, u0);
+  return pcg_solve(k, f, ident, options, log, u0, exec);
 }
 
 PcgResult cg_solve(const la::CsrMatrix& k, const Vec& f,
-                   const PcgOptions& options, KernelLog* log, const Vec& u0) {
-  return cg_solve(la::CsrOperator(k), f, options, log, u0);
+                   const PcgOptions& options, KernelLog* log, const Vec& u0,
+                   const par::Execution* exec) {
+  return cg_solve(la::CsrOperator(k), f, options, log, u0, exec);
 }
 
 }  // namespace mstep::core

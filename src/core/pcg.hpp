@@ -13,6 +13,10 @@
 #include "la/csr_matrix.hpp"
 #include "la/linear_operator.hpp"
 
+namespace mstep::par {
+class Execution;  // par/execution.hpp
+}
+
 namespace mstep::core {
 
 enum class StopRule {
@@ -40,27 +44,34 @@ struct PcgResult {
 
 /// Solve K u = f with preconditioner M (Algorithm 1).  `u0` is the initial
 /// guess (zero if empty).  Instrumentation callbacks go to `log` when
-/// non-null.  Throws std::invalid_argument on dimension mismatches, a
-/// non-positive tolerance, or a non-positive iteration limit.
+/// non-null.  `exec` (optional) threads the SpMV and vector kernels; the
+/// deterministic blocked reductions make the result BITWISE identical to
+/// the serial solve for any thread count.  Throws std::invalid_argument on
+/// dimension mismatches, a non-positive tolerance, or a non-positive
+/// iteration limit.
 [[nodiscard]] PcgResult pcg_solve(const la::LinearOperator& k, const Vec& f,
                                   const Preconditioner& m,
                                   const PcgOptions& options = {},
                                   KernelLog* log = nullptr,
-                                  const Vec& u0 = {});
+                                  const Vec& u0 = {},
+                                  const par::Execution* exec = nullptr);
 
 [[nodiscard]] PcgResult pcg_solve(const la::CsrMatrix& k, const Vec& f,
                                   const Preconditioner& m,
                                   const PcgOptions& options = {},
                                   KernelLog* log = nullptr,
-                                  const Vec& u0 = {});
+                                  const Vec& u0 = {},
+                                  const par::Execution* exec = nullptr);
 
 /// Plain conjugate gradients (M = I, the paper's m = 0 baseline).
 [[nodiscard]] PcgResult cg_solve(const la::LinearOperator& k, const Vec& f,
                                  const PcgOptions& options = {},
-                                 KernelLog* log = nullptr, const Vec& u0 = {});
+                                 KernelLog* log = nullptr, const Vec& u0 = {},
+                                 const par::Execution* exec = nullptr);
 
 [[nodiscard]] PcgResult cg_solve(const la::CsrMatrix& k, const Vec& f,
                                  const PcgOptions& options = {},
-                                 KernelLog* log = nullptr, const Vec& u0 = {});
+                                 KernelLog* log = nullptr, const Vec& u0 = {},
+                                 const par::Execution* exec = nullptr);
 
 }  // namespace mstep::core

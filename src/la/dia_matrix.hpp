@@ -36,6 +36,10 @@ class DiaMatrix {
   [[nodiscard]] const std::vector<index_t>& offsets() const {
     return offsets_;
   }
+  /// diagonals()[d][i] = A(i, i + offsets()[d]); full length n per diagonal.
+  [[nodiscard]] const std::vector<std::vector<double>>& diagonals() const {
+    return diag_;
+  }
 
   /// y = A x
   void multiply(const Vec& x, Vec& y) const;

@@ -1,0 +1,39 @@
+#include "la/linear_operator.hpp"
+
+#include "par/execution.hpp"
+
+namespace mstep::la {
+
+void LinearOperator::multiply(const Vec& x, Vec& y,
+                              const par::Execution& exec) const {
+  (void)exec;
+  multiply(x, y);
+}
+
+void LinearOperator::multiply_sub(const Vec& x, Vec& y,
+                                  const par::Execution& exec) const {
+  (void)exec;
+  multiply_sub(x, y);
+}
+
+void CsrOperator::multiply(const Vec& x, Vec& y,
+                           const par::Execution& exec) const {
+  exec.spmv(*a_, x, y);
+}
+
+void CsrOperator::multiply_sub(const Vec& x, Vec& y,
+                               const par::Execution& exec) const {
+  exec.spmv_sub(*a_, x, y);
+}
+
+void DiaOperator::multiply(const Vec& x, Vec& y,
+                           const par::Execution& exec) const {
+  exec.spmv(*a_, x, y);
+}
+
+void DiaOperator::multiply_sub(const Vec& x, Vec& y,
+                               const par::Execution& exec) const {
+  exec.spmv_sub(*a_, x, y);
+}
+
+}  // namespace mstep::la

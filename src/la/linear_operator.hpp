@@ -12,6 +12,10 @@
 #include "la/dia_matrix.hpp"
 #include "la/vector.hpp"
 
+namespace mstep::par {
+class Execution;  // par/execution.hpp — the threaded kernel policy
+}
+
 namespace mstep::la {
 
 /// Non-owning view of a square linear operator.  The viewed matrix must
@@ -28,6 +32,15 @@ class LinearOperator {
   /// y = y - A x
   virtual void multiply_sub(const Vec& x, Vec& y) const = 0;
 
+  /// Execution-policy forms: identical results (bitwise) to the serial
+  /// forms, computed through `exec`'s threads when it is parallel.  The
+  /// base implementations ignore `exec` and run serially, so custom
+  /// operators stay correct without opting in.
+  virtual void multiply(const Vec& x, Vec& y,
+                        const par::Execution& exec) const;
+  virtual void multiply_sub(const Vec& x, Vec& y,
+                            const par::Execution& exec) const;
+
   /// Number of nonzero (generalized) diagonals — the instrumentation
   /// stream prices an SpMV as this many vector triads (Section 3.1).
   [[nodiscard]] virtual index_t num_nonzero_diagonals() const = 0;
@@ -36,6 +49,11 @@ class LinearOperator {
   void residual(const Vec& b, const Vec& x, Vec& r) const {
     r = b;
     multiply_sub(x, r);
+  }
+  void residual(const Vec& b, const Vec& x, Vec& r,
+                const par::Execution& exec) const {
+    r = b;
+    multiply_sub(x, r, exec);
   }
 };
 
@@ -49,6 +67,10 @@ class CsrOperator final : public LinearOperator {
   void multiply_sub(const Vec& x, Vec& y) const override {
     a_->multiply_sub(x, y);
   }
+  void multiply(const Vec& x, Vec& y,
+                const par::Execution& exec) const override;
+  void multiply_sub(const Vec& x, Vec& y,
+                    const par::Execution& exec) const override;
   [[nodiscard]] index_t num_nonzero_diagonals() const override {
     return a_->num_nonzero_diagonals();
   }
@@ -67,6 +89,10 @@ class DiaOperator final : public LinearOperator {
   void multiply_sub(const Vec& x, Vec& y) const override {
     a_->multiply_sub(x, y);
   }
+  void multiply(const Vec& x, Vec& y,
+                const par::Execution& exec) const override;
+  void multiply_sub(const Vec& x, Vec& y,
+                    const par::Execution& exec) const override;
   [[nodiscard]] index_t num_nonzero_diagonals() const override {
     return a_->num_diagonals();
   }

@@ -1,5 +1,6 @@
 #include "la/vector.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -28,11 +29,24 @@ void scale(double a, Vec& x) {
   for (auto& v : x) v *= a;
 }
 
+namespace detail {
+
+double dot_range(const Vec& x, const Vec& y, std::size_t begin,
+                 std::size_t end) {
+  double s = 0.0;
+  for (std::size_t i = begin; i < end; ++i) s += x[i] * y[i];
+  return s;
+}
+
+}  // namespace detail
+
 double dot(const Vec& x, const Vec& y) {
   assert(x.size() == y.size());
-  double s = 0.0;
   const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) s += x[i] * y[i];
+  double s = 0.0;
+  for (std::size_t b = 0; b < n; b += kReductionBlock) {
+    s += detail::dot_range(x, y, b, std::min(n, b + kReductionBlock));
+  }
   return s;
 }
 

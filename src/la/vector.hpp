@@ -22,6 +22,21 @@ using Vec = std::vector<double>;
 
 namespace la {
 
+/// Reduction block length shared by the serial kernels and the threaded
+/// execution engine (par::Execution).  dot() sums each block left-to-right
+/// and combines the block partials in block order, so a parallel reduction
+/// that computes the same per-block partials reproduces the serial result
+/// BITWISE for any thread count.  For n <= kReductionBlock the blocked sum
+/// degenerates to the plain left-to-right sum.
+inline constexpr std::size_t kReductionBlock = 1024;
+
+namespace detail {
+/// Plain left-to-right partial sum of x[i] * y[i] over [begin, end) — the
+/// per-block kernel of the deterministic reduction.
+[[nodiscard]] double dot_range(const Vec& x, const Vec& y, std::size_t begin,
+                               std::size_t end);
+}  // namespace detail
+
 /// y <- a*x + y
 void axpy(double a, const Vec& x, Vec& y);
 
@@ -34,7 +49,8 @@ void waxpby(double a, const Vec& x, double b, const Vec& y, Vec& w);
 /// x <- a*x
 void scale(double a, Vec& x);
 
-/// Euclidean inner product (x, y) = x^T y.
+/// Euclidean inner product (x, y) = x^T y, computed as the deterministic
+/// blocked reduction described at kReductionBlock.
 [[nodiscard]] double dot(const Vec& x, const Vec& y);
 
 /// 2-norm.

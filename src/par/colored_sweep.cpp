@@ -7,9 +7,10 @@ namespace mstep::par {
 
 ParallelMulticolorMStepSsor::ParallelMulticolorMStepSsor(
     const color::ColoredSystem& cs, std::vector<double> alphas,
-    ThreadPool& pool)
-    : cs_(&cs), alphas_(std::move(alphas)), pool_(&pool),
-      splits_(color::compute_row_splits(cs)) {
+    ThreadPool& pool, core::KernelLog* log)
+    : cs_(&cs), alphas_(std::move(alphas)), pool_(&pool), log_(log),
+      splits_(color::compute_row_splits(cs)),
+      census_(color::compute_class_diagonal_census(cs, splits_)) {
   if (alphas_.empty()) {
     throw std::invalid_argument("ParallelMulticolorMStepSsor: need m >= 1");
   }
@@ -29,6 +30,16 @@ void ParallelMulticolorMStepSsor::apply(const Vec& r, Vec& z) const {
   const auto& val = cs_->matrix.values();
   Vec& y = y_;
 
+  // Emitted from the calling thread after each class sweep — the exact
+  // stream of the serial MulticolorMStepSsor.
+  auto log_class = [&](int c, bool lower) {
+    if (!log_) return;
+    const index_t len = cs_->class_size(c);
+    log_->spmv_diagonals(len, lower ? census_.lower[c] : census_.upper[c]);
+    log_->vec_op(len, 3);  // x + y + alpha*r fused adds
+    log_->diag_op(len);    // divide by D_c
+  };
+
   for (int s = 1; s <= m; ++s) {
     const double a = alphas_[m - s];
     for (int c = 0; c < nc; ++c) {
@@ -45,6 +56,7 @@ void ParallelMulticolorMStepSsor::apply(const Vec& r, Vec& z) const {
               y[i] = last ? 0.0 : xl;
             }
           });
+      log_class(c, /*lower=*/true);
     }
     for (int c = nc - 2; c >= 1; --c) {
       pool_->for_range(
@@ -59,6 +71,7 @@ void ParallelMulticolorMStepSsor::apply(const Vec& r, Vec& z) const {
               y[i] = xu;
             }
           });
+      log_class(c, /*lower=*/false);
     }
     pool_->for_range(cs_->class_start[0], cs_->class_start[1],
                      [&](index_t b, index_t e) {
@@ -71,6 +84,10 @@ void ParallelMulticolorMStepSsor::apply(const Vec& r, Vec& z) const {
                          y[i] = xu;
                        }
                      });
+    if (log_) {
+      log_->spmv_diagonals(cs_->class_size(0), census_.upper[0]);
+      log_->end_precond_step();
+    }
   }
   pool_->for_range(cs_->class_start[0], cs_->class_start[1],
                    [&](index_t b, index_t e) {
@@ -78,6 +95,10 @@ void ParallelMulticolorMStepSsor::apply(const Vec& r, Vec& z) const {
                        z[i] = (y[i] + alphas_[0] * r[i]) / splits_.diag[i];
                      }
                    });
+  if (log_) {
+    log_->vec_op(cs_->class_size(0), 2);
+    log_->diag_op(cs_->class_size(0));
+  }
 }
 
 std::string ParallelMulticolorMStepSsor::name() const {

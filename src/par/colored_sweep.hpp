@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "color/coloring.hpp"
+#include "core/kernel_log.hpp"
 #include "core/preconditioner.hpp"
 #include "par/thread_pool.hpp"
 
@@ -19,9 +20,13 @@ namespace mstep::par {
 
 class ParallelMulticolorMStepSsor : public core::Preconditioner {
  public:
-  /// `cs` and `pool` must outlive the preconditioner.
+  /// `cs` and `pool` must outlive the preconditioner.  `log` (optional)
+  /// receives exactly the kernel stream of the serial sweep, emitted from
+  /// the calling thread, so instrumented reports are identical whether the
+  /// sweep is threaded or not.
   ParallelMulticolorMStepSsor(const color::ColoredSystem& cs,
-                              std::vector<double> alphas, ThreadPool& pool);
+                              std::vector<double> alphas, ThreadPool& pool,
+                              core::KernelLog* log = nullptr);
 
   [[nodiscard]] index_t size() const override { return cs_->size(); }
   void apply(const Vec& r, Vec& z) const override;
@@ -34,7 +39,9 @@ class ParallelMulticolorMStepSsor : public core::Preconditioner {
   const color::ColoredSystem* cs_;
   std::vector<double> alphas_;
   ThreadPool* pool_;
+  core::KernelLog* log_;
   color::RowSplits splits_;
+  color::ClassDiagonalCensus census_;
   mutable Vec y_;
 };
 

@@ -1,0 +1,186 @@
+#include "par/execution.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace mstep::par {
+
+Execution::Execution(int threads) {
+  if (threads < 0) {
+    throw std::invalid_argument("Execution: thread count must be >= 0");
+  }
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+void Execution::for_range(
+    index_t begin, index_t end,
+    const std::function<void(index_t, index_t)>& body) const {
+  if (begin >= end) return;
+  if (pool_) {
+    pool_->for_range(begin, end, body);
+  } else {
+    body(begin, end);
+  }
+}
+
+double Execution::dot(const Vec& x, const Vec& y) const {
+  assert(x.size() == y.size());
+  const auto n = static_cast<index_t>(x.size());
+  if (!pool_ || n < kSerialCutoff) return la::dot(x, y);
+
+  const auto block = static_cast<index_t>(la::kReductionBlock);
+  const index_t nblocks = (n + block - 1) / block;
+  partials_.assign(nblocks, 0.0);
+  pool_->for_each(0, nblocks, [&](index_t k) {
+    const auto b = static_cast<std::size_t>(k) * la::kReductionBlock;
+    partials_[k] = la::detail::dot_range(
+        x, y, b, std::min(x.size(), b + la::kReductionBlock));
+  });
+  // Combine in block order — exactly la::dot's serial combination.
+  double s = 0.0;
+  for (index_t k = 0; k < nblocks; ++k) s += partials_[k];
+  return s;
+}
+
+double Execution::nrm2(const Vec& x) const { return std::sqrt(dot(x, x)); }
+
+void Execution::axpy(double a, const Vec& x, Vec& y) const {
+  assert(x.size() == y.size());
+  const auto n = static_cast<index_t>(x.size());
+  if (!pool_ || n < kSerialCutoff) {
+    la::axpy(a, x, y);
+    return;
+  }
+  pool_->for_range(0, n, [&](index_t b, index_t e) {
+    for (index_t i = b; i < e; ++i) y[i] += a * x[i];
+  });
+}
+
+void Execution::xpay(const Vec& x, double b, Vec& y) const {
+  assert(x.size() == y.size());
+  const auto n = static_cast<index_t>(x.size());
+  if (!pool_ || n < kSerialCutoff) {
+    la::xpay(x, b, y);
+    return;
+  }
+  pool_->for_range(0, n, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) y[i] = x[i] + b * y[i];
+  });
+}
+
+double Execution::step_update_max(double a, const Vec& p, Vec& u) const {
+  assert(p.size() == u.size());
+  const auto n = static_cast<index_t>(p.size());
+  if (!pool_ || n < kSerialCutoff) {
+    double mx = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      const double step = a * p[i];
+      u[i] += step;
+      mx = std::max(mx, std::abs(step));
+    }
+    return mx;
+  }
+  const auto block = static_cast<index_t>(la::kReductionBlock);
+  const index_t nblocks = (n + block - 1) / block;
+  partials_.assign(nblocks, 0.0);
+  pool_->for_each(0, nblocks, [&](index_t k) {
+    const index_t b = k * block;
+    const index_t e = std::min(n, b + block);
+    double mx = 0.0;
+    for (index_t i = b; i < e; ++i) {
+      const double step = a * p[i];
+      u[i] += step;
+      mx = std::max(mx, std::abs(step));
+    }
+    partials_[k] = mx;
+  });
+  double mx = 0.0;
+  for (index_t k = 0; k < nblocks; ++k) mx = std::max(mx, partials_[k]);
+  return mx;
+}
+
+void Execution::spmv(const la::CsrMatrix& a, const Vec& x, Vec& y) const {
+  if (!pool_ || a.rows() < kSerialCutoff) {
+    a.multiply(x, y);
+    return;
+  }
+  assert(static_cast<index_t>(x.size()) == a.cols());
+  y.resize(a.rows());
+  const auto& rp = a.row_ptr();
+  const auto& col = a.col_idx();
+  const auto& val = a.values();
+  pool_->for_range(0, a.rows(), [&](index_t b, index_t e) {
+    for (index_t i = b; i < e; ++i) {
+      double s = 0.0;
+      for (index_t k = rp[i]; k < rp[i + 1]; ++k) s += val[k] * x[col[k]];
+      y[i] = s;
+    }
+  });
+}
+
+void Execution::spmv_sub(const la::CsrMatrix& a, const Vec& x, Vec& y) const {
+  if (!pool_ || a.rows() < kSerialCutoff) {
+    a.multiply_sub(x, y);
+    return;
+  }
+  assert(static_cast<index_t>(x.size()) == a.cols());
+  assert(static_cast<index_t>(y.size()) == a.rows());
+  const auto& rp = a.row_ptr();
+  const auto& col = a.col_idx();
+  const auto& val = a.values();
+  pool_->for_range(0, a.rows(), [&](index_t b, index_t e) {
+    for (index_t i = b; i < e; ++i) {
+      double s = 0.0;
+      for (index_t k = rp[i]; k < rp[i + 1]; ++k) s += val[k] * x[col[k]];
+      y[i] -= s;
+    }
+  });
+}
+
+void Execution::spmv(const la::DiaMatrix& a, const Vec& x, Vec& y) const {
+  if (!pool_ || a.rows() < kSerialCutoff) {
+    a.multiply(x, y);
+    return;
+  }
+  const index_t n = a.rows();
+  assert(static_cast<index_t>(x.size()) == n);
+  y.assign(n, 0.0);
+  const auto& offsets = a.offsets();
+  const auto& diags = a.diagonals();
+  // Partition the element range; within a chunk, accumulate the diagonals
+  // in offset order — per element this is the serial accumulation order.
+  pool_->for_range(0, n, [&](index_t b, index_t e) {
+    for (std::size_t d = 0; d < offsets.size(); ++d) {
+      const index_t off = offsets[d];
+      const std::vector<double>& v = diags[d];
+      const index_t lo = std::max(b, std::max<index_t>(0, -off));
+      const index_t hi = std::min(e, std::min<index_t>(n, n - off));
+      for (index_t i = lo; i < hi; ++i) y[i] += v[i] * x[i + off];
+    }
+  });
+}
+
+void Execution::spmv_sub(const la::DiaMatrix& a, const Vec& x, Vec& y) const {
+  if (!pool_ || a.rows() < kSerialCutoff) {
+    a.multiply_sub(x, y);
+    return;
+  }
+  const index_t n = a.rows();
+  assert(static_cast<index_t>(x.size()) == n);
+  assert(static_cast<index_t>(y.size()) == n);
+  const auto& offsets = a.offsets();
+  const auto& diags = a.diagonals();
+  pool_->for_range(0, n, [&](index_t b, index_t e) {
+    for (std::size_t d = 0; d < offsets.size(); ++d) {
+      const index_t off = offsets[d];
+      const std::vector<double>& v = diags[d];
+      const index_t lo = std::max(b, std::max<index_t>(0, -off));
+      const index_t hi = std::min(e, std::min<index_t>(n, n - off));
+      for (index_t i = lo; i < hi; ++i) y[i] -= v[i] * x[i + off];
+    }
+  });
+}
+
+}  // namespace mstep::par

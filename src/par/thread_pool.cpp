@@ -45,7 +45,17 @@ void ThreadPool::work_on_current_job() {
   for (;;) {
     const index_t b = next_.fetch_add(chunk_, std::memory_order_relaxed);
     if (b >= end_) return;
-    (*body)(b, std::min(end_, b + chunk_));
+    try {
+      (*body)(b, std::min(end_, b + chunk_));
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+      // Park the cursor at the end so every thread stops taking chunks.
+      next_.store(end_, std::memory_order_relaxed);
+      return;
+    }
   }
 }
 
@@ -72,6 +82,11 @@ void ThreadPool::for_range(index_t begin, index_t end,
     return next_.load(std::memory_order_relaxed) >= end_ &&
            active_workers_.load(std::memory_order_acquire) == 0;
   });
+  if (error_) {
+    std::exception_ptr e;
+    std::swap(e, error_);
+    std::rethrow_exception(e);
+  }
 }
 
 void ThreadPool::for_each(index_t begin, index_t end,

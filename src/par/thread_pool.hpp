@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -23,7 +24,9 @@ namespace mstep::par {
 ///
 /// for_range(begin, end, body) partitions [begin, end) into chunks and
 /// runs body(chunk_begin, chunk_end) on the workers plus the calling
-/// thread, returning when the whole range is done.  body must not throw.
+/// thread, returning when the whole range is done.  If body throws, the
+/// sweep is cut short, the first exception is rethrown on the calling
+/// thread, and the pool remains usable for subsequent jobs.
 class ThreadPool {
  public:
   /// `threads` total workers including the caller; 0 or 1 means serial.
@@ -55,6 +58,7 @@ class ThreadPool {
   std::condition_variable done_cv_;
   bool stop_ = false;
   std::uint64_t generation_ = 0;
+  std::exception_ptr error_;  // first exception thrown by a body
 
   std::atomic<const std::function<void(index_t, index_t)>*> body_{nullptr};
   std::atomic<index_t> next_{0};

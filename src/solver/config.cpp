@@ -141,6 +141,10 @@ void SolverConfig::validate() const {
     throw std::invalid_argument(
         "SolverConfig: interval needs lambda_min < lambda_max");
   }
+  if (execution.threads < 0) {
+    throw std::invalid_argument(
+        "SolverConfig: threads must be >= 0 (0 = serial)");
+  }
 }
 
 std::string SolverConfig::to_string() const {
@@ -152,6 +156,9 @@ std::string SolverConfig::to_string() const {
       ";stop=" + solver::to_string(stop_rule) +
       ";tol=" + format_double(tolerance) +
       ";maxit=" + std::to_string(max_iterations);
+  if (execution.parallel()) {
+    out += ";threads=" + std::to_string(execution.threads);
+  }
   if (record_history) out += ";history=1";
   if (interval) {
     out += ";interval=" + format_double(interval->lambda_min) + ',' +
@@ -191,6 +198,8 @@ SolverConfig SolverConfig::from_string(const std::string& text) {
       cfg.tolerance = parse_double(value, "tol");
     } else if (key == "maxit") {
       cfg.max_iterations = parse_int(value, "maxit");
+    } else if (key == "threads") {
+      cfg.execution.threads = parse_int(value, "threads");
     } else if (key == "history") {
       cfg.record_history = parse_int(value, "history") != 0;
     } else if (key == "interval") {
@@ -231,6 +240,9 @@ SolverConfig SolverConfig::from_cli(const util::Cli& cli,
   if (cli.has("maxit")) {
     cfg.max_iterations = cli.get_int("maxit", cfg.max_iterations);
   }
+  if (cli.has("threads")) {
+    cfg.execution.threads = cli.get_int("threads", cfg.execution.threads);
+  }
   cfg.validate();
   return cfg;
 }
@@ -240,8 +252,8 @@ SolverConfig SolverConfig::from_cli(const util::Cli& cli) {
 }
 
 std::vector<std::string> SolverConfig::cli_flags() {
-  return {"splitting", "m",    "params", "ordering",
-          "format",    "stop", "tol",    "maxit"};
+  return {"splitting", "m",    "params", "ordering", "format",
+          "stop",      "tol",  "maxit",  "threads"};
 }
 
 core::PcgOptions SolverConfig::pcg_options() const {
@@ -264,7 +276,8 @@ bool operator==(const SolverConfig& a, const SolverConfig& b) {
          a.format == b.format && a.stop_rule == b.stop_rule &&
          a.tolerance == b.tolerance &&
          a.max_iterations == b.max_iterations &&
-         a.record_history == b.record_history && iv_equal;
+         a.record_history == b.record_history &&
+         a.execution == b.execution && iv_equal;
 }
 
 }  // namespace mstep::solver

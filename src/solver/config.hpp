@@ -8,7 +8,8 @@
 //   format=csr;stop=delta_inf;tol=1e-06;maxit=20000
 //
 // so an experiment is reproducible from one line of a log, and a CLI
-// driver exposes the full design space as --splitting/--m/--params/...
+// driver exposes the full design space as --splitting/--m/--params/
+// --threads/...
 #pragma once
 
 #include <optional>
@@ -34,6 +35,24 @@ enum class MatrixFormat {
   kDia,  // by diagonals — the CYBER 203/205 layout (Section 3.1)
 };
 
+/// Execution policy for the hot kernels (multicolor sweeps, SpMV, vector
+/// ops).  threads = 0 is the serial default — the solve runs entirely on
+/// the calling thread through the unthreaded code path.  threads = n >= 1
+/// runs on a pool of n threads (including the caller) with deterministic
+/// blocked reductions: the solve is BITWISE identical to the serial one.
+struct ExecutionConfig {
+  int threads = 0;
+
+  [[nodiscard]] bool parallel() const { return threads >= 1; }
+
+  friend bool operator==(const ExecutionConfig& a, const ExecutionConfig& b) {
+    return a.threads == b.threads;
+  }
+  friend bool operator!=(const ExecutionConfig& a, const ExecutionConfig& b) {
+    return !(a == b);
+  }
+};
+
 struct SolverConfig {
   std::string splitting = "ssor";
   SplitOptions splitting_options;        // e.g. {"omega", 1.2}
@@ -45,6 +64,9 @@ struct SolverConfig {
   double tolerance = 1e-6;
   int max_iterations = 20000;
   bool record_history = false;
+  /// Serial by default; serializes as "threads=N" only when parallel, so
+  /// serial config strings are unchanged from the unthreaded library.
+  ExecutionConfig execution;
   /// Spectrum interval for the parameter strategy; the splitting's default
   /// (e.g. [0, 1] for SSOR) when unset.
   std::optional<core::SpectrumInterval> interval;

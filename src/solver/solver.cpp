@@ -7,6 +7,7 @@
 #include "color/greedy.hpp"
 #include "core/mstep.hpp"
 #include "core/multicolor_mstep.hpp"
+#include "par/colored_sweep.hpp"
 
 namespace mstep::solver {
 
@@ -32,6 +33,14 @@ double ssor_omega(const SolverConfig& config) {
 
 }  // namespace
 
+Solver::Solver(SolverConfig config) : config_(std::move(config)) {
+  // One pool for the solver's whole lifetime: every Prepared (and hence
+  // every step and right-hand side) reuses the same warm threads.
+  if (config_.execution.parallel()) {
+    exec_ = std::make_shared<par::Execution>(config_.execution.threads);
+  }
+}
+
 Solver Solver::from_config(SolverConfig config) {
   config.validate();
   return Solver(std::move(config));
@@ -56,6 +65,7 @@ Prepared Solver::prepare(const la::CsrMatrix& k,
   }
   Prepared p;
   p.config_ = config_;
+  p.exec_ = exec_;
   p.log_ = log;
 
   // 1. Ordering.
@@ -83,10 +93,20 @@ Prepared Solver::prepare(const la::CsrMatrix& k,
         config_.params, config_.steps, p.interval_);
 
     // Algorithm-2 fast path: the Conrad–Wallach multicolor sweep is the
-    // SSOR(omega = 1) m-step operator on the colour-permuted matrix.
+    // SSOR(omega = 1) m-step operator on the colour-permuted matrix.  With
+    // a parallel execution policy the colour classes are swept by the
+    // thread pool — bitwise the serial result (the decoupling property).
+    // Tiny systems keep the serial sweep: per-class pool dispatch costs
+    // more than it saves there (same threshold as the Execution kernels).
     if (p.cs_ && config_.splitting == "ssor" && ssor_omega(config_) == 1.0) {
-      p.precond_ = std::make_unique<core::MulticolorMStepSsor>(
-          *p.cs_, p.alphas_, log);
+      if (p.exec_ && p.exec_->parallel() &&
+          p.matrix_->rows() >= par::kSerialCutoff) {
+        p.precond_ = std::make_unique<par::ParallelMulticolorMStepSsor>(
+            *p.cs_, p.alphas_, *p.exec_->pool(), log);
+      } else {
+        p.precond_ = std::make_unique<core::MulticolorMStepSsor>(
+            *p.cs_, p.alphas_, log);
+      }
     } else {
       p.splitting_ = SplittingRegistry::instance().create(
           config_.splitting, *p.matrix_, config_.splitting_options);
@@ -133,8 +153,8 @@ SolveReport Prepared::solve(const Vec& f, const Vec& u0) const {
   const Vec u0p = u0.empty() ? Vec{} : permute(u0);
 
   SolveReport report;
-  report.result =
-      core::pcg_solve(*op_, fp, *precond_, config_.pcg_options(), log_, u0p);
+  report.result = core::pcg_solve(*op_, fp, *precond_, config_.pcg_options(),
+                                  log_, u0p, exec_.get());
   report.solution = unpermute(report.result.solution);
   report.alphas = alphas_;
   report.interval = interval_;

@@ -21,6 +21,7 @@
 #include "core/preconditioner.hpp"
 #include "la/dia_matrix.hpp"
 #include "la/linear_operator.hpp"
+#include "par/execution.hpp"
 #include "solver/config.hpp"
 #include "split/splitting.hpp"
 
@@ -67,6 +68,13 @@ class Solver {
 
   [[nodiscard]] const SolverConfig& config() const { return config_; }
 
+  /// The execution engine backing this solver's kernels, shared by every
+  /// Prepared it creates so one thread pool serves all steps and
+  /// right-hand sides; nullptr when the config is serial (threads = 0).
+  [[nodiscard]] const par::Execution* execution() const {
+    return exec_.get();
+  }
+
   /// Instantiate the pipeline on a concrete (square, SPD) matrix.  With a
   /// multicolour ordering and no caller classes, the equations are
   /// coloured greedily from the matrix graph.  `k` must outlive the
@@ -89,9 +97,10 @@ class Solver {
                                   const Vec& u0 = {}) const;
 
  private:
-  explicit Solver(SolverConfig config) : config_(std::move(config)) {}
+  explicit Solver(SolverConfig config);
 
   SolverConfig config_;
+  std::shared_ptr<par::Execution> exec_;  // set when execution is parallel
 };
 
 /// An instantiated pipeline bound to one matrix: the coloured system, the
@@ -130,6 +139,9 @@ class Prepared {
   std::unique_ptr<la::LinearOperator> op_;
   std::unique_ptr<split::Splitting> splitting_;
   std::unique_ptr<core::Preconditioner> precond_;
+  // Shared with the creating Solver (and its other Prepared instances):
+  // one pool, warm across steps and right-hand sides.
+  std::shared_ptr<par::Execution> exec_;
   std::vector<double> alphas_;
   core::SpectrumInterval interval_{};
   ColoringStats stats_;
