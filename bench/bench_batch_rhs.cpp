@@ -1,0 +1,279 @@
+// Batched multi-RHS throughput bench.
+//
+// The m-step pipeline's expensive setup (coloring, splitting, alphas) is
+// built once; the question this bench answers is how fast MANY independent
+// right-hand sides flow through it.  Three schedules are timed on the same
+// `Prepared`:
+//
+//   seq_solve_calls  a loop of one-call Solver::solve(K, f) at --threads=N
+//                    — what code without the batch engine does: the
+//                    coloring/splitting/alpha setup is redone per RHS and
+//                    the thread budget is spent inside each solve;
+//   seq_serial       sequential Prepared::solve() on the serial kernel
+//                    path (threads = 0), setup done once;
+//   seq_threaded     sequential Prepared::solve() with kernel threading
+//                    (--threads=N) — latency scheduling;
+//   batched          solveMany() — throughput scheduling: one RHS per
+//                    lane, work-stealing round-robin, shared setup.
+//
+// Every batched per-RHS result is verified BITWISE against the seq_serial
+// report, and the run fails (exit 1) on any mismatch or non-convergence.
+// Emits machine-readable JSON (--out=BENCH_batch.json) for the CI perf
+// gate; `speedup_vs_seq_threaded` is the scale-free metric the gate
+// checks, since it compares two schedules of the same thread budget on the
+// same machine.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fem/plane_stress.hpp"
+#include "fem/plate_mesh.hpp"
+#include "solver/solver.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace mstep;
+
+struct Run {
+  std::string workload;
+  index_t n = 0;
+  int rhs = 0;
+  int threads = 0;
+  int batch = 0;  // lanes actually used
+  int iterations_total = 0;
+  bool converged = true;
+  bool bitwise_match_serial = true;
+  double seq_solve_calls_seconds = 0.0;
+  double seq_serial_seconds = 0.0;
+  double seq_threaded_seconds = 0.0;
+  double batch_seconds = 0.0;
+  double throughput_batch = 0.0;          // RHSs per second, batched
+  double speedup_vs_seq_solve_calls = 0.0;
+  double speedup_vs_seq_serial = 0.0;
+  double speedup_vs_seq_threaded = 0.0;
+};
+
+/// Best-of-`repeats` wall time of a sequential solve loop; fills `reports`
+/// from the last repeat.
+double time_sequential(const solver::Prepared& prepared,
+                       const std::vector<Vec>& bs, int repeats,
+                       std::vector<solver::SolveReport>* reports) {
+  double best = 1e300;
+  for (int rep = 0; rep < repeats; ++rep) {
+    reports->clear();
+    util::Timer timer;
+    for (const Vec& f : bs) reports->push_back(prepared.solve(f));
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+double time_batched(const solver::Prepared& prepared, const std::vector<Vec>& bs,
+                    int repeats, solver::BatchReport* report) {
+  double best = 1e300;
+  for (int rep = 0; rep < repeats; ++rep) {
+    *report = prepared.solveMany(bs);
+    best = std::min(best, report->wall_seconds);
+  }
+  return best;
+}
+
+bool bitwise_equal(const solver::SolveReport& a, const solver::SolveReport& b) {
+  return a.iterations() == b.iterations() &&
+         a.result.final_delta_inf == b.result.final_delta_inf &&
+         a.solution == b.solution;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    util::Cli cli(argc, argv,
+                  {"quick", "size", "rhs", "threads", "batch", "repeats",
+                   "out", "tol"});
+    const bool quick = cli.has("quick");
+    const int plate = cli.get_int("size", quick ? 24 : 64);
+    const int nrhs = cli.get_int("rhs", quick ? 6 : 16);
+    const int threads = cli.get_int("threads", quick ? 2 : 8);
+    const int batch = cli.get_int("batch", 0);  // 0 = one lane per thread
+    const int repeats = cli.get_int("repeats", quick ? 1 : 2);
+    const double tol = cli.get_double("tol", 1e-6);
+    const std::string out_path = cli.get("out", "BENCH_batch.json");
+
+    const fem::PlateMesh mesh = fem::PlateMesh::unit_square(plate);
+    const auto sys = fem::assemble_plane_stress(mesh, fem::Material{},
+                                                fem::EdgeLoad{1.0, 0.0});
+    const index_t n = sys.stiffness.rows();
+
+    // Independent right-hand sides: the assembled load plus deterministic
+    // random loads (any RHS is admissible for the SPD system).
+    std::vector<Vec> bs;
+    bs.reserve(static_cast<std::size_t>(nrhs));
+    bs.push_back(sys.load);
+    util::Rng rng(42);
+    for (int j = 1; j < nrhs; ++j) {
+      bs.push_back(rng.uniform_vector(static_cast<std::size_t>(n)));
+    }
+
+    solver::SolverConfig base;
+    base.splitting = "ssor";
+    base.steps = 4;
+    base.params = "lsq";
+    base.ordering = solver::Ordering::kMulticolor;
+    base.tolerance = tol;
+
+    struct Workload {
+      std::string name;
+      solver::SolverConfig config;
+    };
+    std::vector<Workload> workloads;
+    workloads.push_back({"ssor_multicolor", base});  // Algorithm-2 fast path
+    Workload generic{"jacobi_generic", base};        // generic m-step engine
+    generic.config.splitting = "jacobi";
+    generic.config.splitting_options.clear();
+    workloads.push_back(generic);
+
+    std::cout << "== Batched multi-RHS harness ==\n"
+              << "plate a = " << plate << " (" << n << " equations), "
+              << nrhs << " right-hand sides, threads = " << threads
+              << ", hardware cores = "
+              << std::thread::hardware_concurrency() << ", best of "
+              << repeats << " repeat(s).\n\n";
+
+    std::vector<Run> runs;
+    bool all_ok = true;
+    for (const auto& w : workloads) {
+      Run run;
+      run.workload = w.name;
+      run.n = n;
+      run.rhs = nrhs;
+      run.threads = threads;
+
+      // seq_serial: the bitwise reference.
+      auto serial_cfg = w.config;
+      const auto serial_prepared =
+          solver::Solver::from_config(serial_cfg).prepare(sys.stiffness);
+      std::vector<solver::SolveReport> serial_reports;
+      run.seq_serial_seconds =
+          time_sequential(serial_prepared, bs, repeats, &serial_reports);
+
+      // seq_solve_calls: the pre-batch-engine schedule — one-call solves,
+      // setup redone per right-hand side, same thread budget.
+      auto threaded_cfg = w.config;
+      threaded_cfg.execution.threads = threads;
+      {
+        const auto one_call = solver::Solver::from_config(threaded_cfg);
+        double best = 1e300;
+        for (int rep = 0; rep < repeats; ++rep) {
+          util::Timer timer;
+          for (const Vec& f : bs) {
+            const auto r = one_call.solve(sys.stiffness, f);
+            run.converged = run.converged && r.converged();
+          }
+          best = std::min(best, timer.seconds());
+        }
+        run.seq_solve_calls_seconds = best;
+      }
+
+      // seq_threaded: setup reused, thread budget spent inside each solve.
+      const auto threaded_prepared =
+          solver::Solver::from_config(threaded_cfg).prepare(sys.stiffness);
+      std::vector<solver::SolveReport> threaded_reports;
+      run.seq_threaded_seconds =
+          time_sequential(threaded_prepared, bs, repeats, &threaded_reports);
+
+      // batched: same thread budget spent across right-hand sides.
+      auto batch_cfg = w.config;
+      batch_cfg.execution.threads = threads;
+      batch_cfg.batch = batch;
+      const auto batch_prepared =
+          solver::Solver::from_config(batch_cfg).prepare(sys.stiffness);
+      solver::BatchReport batch_report;
+      run.batch_seconds =
+          time_batched(batch_prepared, bs, repeats, &batch_report);
+      batch_report.rethrow_first_error();
+
+      run.batch = batch_report.concurrency;
+      run.iterations_total =
+          static_cast<int>(batch_report.total_iterations());
+      run.converged = run.converged && batch_report.all_converged();
+      for (std::size_t i = 0; i < bs.size(); ++i) {
+        run.bitwise_match_serial =
+            run.bitwise_match_serial &&
+            bitwise_equal(serial_reports[i], batch_report.reports[i]);
+        run.converged = run.converged && serial_reports[i].converged() &&
+                        threaded_reports[i].converged();
+      }
+      run.throughput_batch = nrhs / run.batch_seconds;
+      run.speedup_vs_seq_solve_calls =
+          run.seq_solve_calls_seconds / run.batch_seconds;
+      run.speedup_vs_seq_serial = run.seq_serial_seconds / run.batch_seconds;
+      run.speedup_vs_seq_threaded =
+          run.seq_threaded_seconds / run.batch_seconds;
+      runs.push_back(run);
+      all_ok = all_ok && run.converged && run.bitwise_match_serial;
+
+      util::Table t({"schedule", "wall (s)", "RHS/s", "speedup vs batched"});
+      t.add_row({"seq solve() calls, threads=" + std::to_string(threads),
+                 util::Table::fixed(run.seq_solve_calls_seconds, 4),
+                 util::Table::fixed(nrhs / run.seq_solve_calls_seconds, 2),
+                 util::Table::fixed(1.0 / run.speedup_vs_seq_solve_calls, 2)});
+      t.add_row({"seq prepared, serial",
+                 util::Table::fixed(run.seq_serial_seconds, 4),
+                 util::Table::fixed(nrhs / run.seq_serial_seconds, 2),
+                 util::Table::fixed(1.0 / run.speedup_vs_seq_serial, 2)});
+      t.add_row({"seq prepared, threads=" + std::to_string(threads),
+                 util::Table::fixed(run.seq_threaded_seconds, 4),
+                 util::Table::fixed(nrhs / run.seq_threaded_seconds, 2),
+                 util::Table::fixed(1.0 / run.speedup_vs_seq_threaded, 2)});
+      t.add_row({"batched lanes=" + std::to_string(run.batch),
+                 util::Table::fixed(run.batch_seconds, 4),
+                 util::Table::fixed(run.throughput_batch, 2), "1.00"});
+      t.print(std::cout, w.name + (run.bitwise_match_serial
+                                       ? " (bitwise = serial: yes)"
+                                       : " (bitwise = serial: NO)"));
+      std::cout << '\n';
+    }
+
+    std::ofstream json(out_path);
+    json << "[\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const Run& r = runs[i];
+      json << "  {\"workload\": \"" << r.workload << "\", \"n\": " << r.n
+           << ", \"rhs\": " << r.rhs << ", \"threads\": " << r.threads
+           << ", \"batch\": " << r.batch
+           << ", \"iterations_total\": " << r.iterations_total
+           << ", \"converged\": " << (r.converged ? "true" : "false")
+           << ", \"bitwise_match_serial\": "
+           << (r.bitwise_match_serial ? "true" : "false")
+           << ", \"seq_solve_calls_seconds\": " << r.seq_solve_calls_seconds
+           << ", \"seq_serial_seconds\": " << r.seq_serial_seconds
+           << ", \"seq_threaded_seconds\": " << r.seq_threaded_seconds
+           << ", \"batch_seconds\": " << r.batch_seconds
+           << ", \"throughput_batch\": " << r.throughput_batch
+           << ", \"speedup_vs_seq_solve_calls\": "
+           << r.speedup_vs_seq_solve_calls
+           << ", \"speedup_vs_seq_serial\": " << r.speedup_vs_seq_serial
+           << ", \"speedup_vs_seq_threaded\": " << r.speedup_vs_seq_threaded
+           << "}" << (i + 1 < runs.size() ? "," : "") << '\n';
+    }
+    json << "]\n";
+    std::cout << "wrote " << out_path << '\n';
+
+    if (!all_ok) {
+      std::cerr << "batched solve diverged from serial or failed to "
+                   "converge!\n";
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_batch_rhs: " << e.what() << '\n';
+    return 2;
+  }
+}

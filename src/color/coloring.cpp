@@ -74,6 +74,20 @@ Vec ColoredSystem::unpermute(const Vec& x) const {
   return y;
 }
 
+void ColoredSystem::permute_into(const Vec& x, Vec& out) const {
+  assert(x.size() == perm.size());
+  assert(&x != &out);
+  out.resize(x.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) out[i] = x[perm[i]];
+}
+
+void ColoredSystem::unpermute_into(const Vec& x, Vec& out) const {
+  assert(x.size() == perm.size());
+  assert(&x != &out);
+  out.resize(x.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) out[perm[i]] = x[i];
+}
+
 ColoredSystem make_colored_system(const la::CsrMatrix& k,
                                   const ColorClasses& classes) {
   if (classes.total_equations() != k.rows()) {

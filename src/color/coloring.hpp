@@ -65,6 +65,11 @@ struct ColoredSystem {
   [[nodiscard]] Vec permute(const Vec& x) const;
   /// Inverse reordering.
   [[nodiscard]] Vec unpermute(const Vec& x) const;
+  /// Allocation-free forms writing into a caller-owned buffer (resized on
+  /// demand, capacity kept) — the batch engine's per-lane reorder scratch.
+  /// `out` must not alias `x`.
+  void permute_into(const Vec& x, Vec& out) const;
+  void unpermute_into(const Vec& x, Vec& out) const;
 };
 
 /// Build the coloured system from a matrix in the original ordering.

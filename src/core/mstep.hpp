@@ -21,14 +21,24 @@
 #include "la/csr_matrix.hpp"
 #include "split/splitting.hpp"
 
+namespace mstep::par {
+class Execution;  // par/execution.hpp — the threaded kernel policy
+}
+
 namespace mstep::core {
 
 class MStepPreconditioner : public Preconditioner {
  public:
   /// `alphas[i]` is the coefficient of G^i; m = alphas.size() >= 1.
-  /// K and the splitting must outlive the preconditioner.
+  /// K and the splitting must outlive the preconditioner.  `exec`
+  /// (optional, must outlive the preconditioner) threads the sweep's
+  /// scaled-residual copy, the K z product, and the accumulation — plus
+  /// the P^{-1} application for the elementwise splittings — through the
+  /// execution policy; the deterministic kernels keep the result BITWISE
+  /// identical to the serial sweep for any thread count.
   MStepPreconditioner(const la::CsrMatrix& k, const split::Splitting& split,
-                      std::vector<double> alphas, KernelLog* log = nullptr);
+                      std::vector<double> alphas, KernelLog* log = nullptr,
+                      const par::Execution* exec = nullptr);
 
   [[nodiscard]] index_t size() const override { return k_->rows(); }
   void apply(const Vec& r, Vec& z) const override;
@@ -44,6 +54,7 @@ class MStepPreconditioner : public Preconditioner {
   const split::Splitting* split_;
   std::vector<double> alphas_;
   KernelLog* log_;
+  const par::Execution* exec_;  // nullptr = serial sweep
   int ndiags_;  // cached diagonal count for the instrumentation stream
   mutable Vec tmp_;
   mutable Vec pz_;

@@ -7,21 +7,11 @@
 
 namespace mstep::core {
 
-namespace {
-
-/// Shared serial policy for calls that pass no execution engine.
-const par::Execution& serial_execution() {
-  static const par::Execution serial;
-  return serial;
-}
-
-}  // namespace
-
 PcgResult pcg_solve(const la::LinearOperator& k, const Vec& f,
                     const Preconditioner& m, const PcgOptions& options,
                     KernelLog* log, const Vec& u0,
-                    const par::Execution* exec) {
-  const par::Execution& ex = exec ? *exec : serial_execution();
+                    const par::Execution* exec, PcgWorkspace* workspace) {
+  const par::Execution& ex = exec ? *exec : par::serial_execution();
   const index_t n = k.rows();
   if (static_cast<index_t>(f.size()) != n || m.size() != n) {
     throw std::invalid_argument("pcg_solve: dimension mismatch");
@@ -41,10 +31,20 @@ PcgResult pcg_solve(const la::LinearOperator& k, const Vec& f,
       log ? static_cast<int>(k.num_nonzero_diagonals()) : 0;
 
   PcgResult res;
-  Vec u = u0.empty() ? Vec(n, 0.0) : u0;
+  // All solve-sized scratch comes from the workspace when one is supplied
+  // (reused, no allocation on a warm arena) or from a local one.
+  PcgWorkspace local;
+  PcgWorkspace& ws = workspace ? *workspace : local;
+
+  Vec& u = ws.u;
+  if (u0.empty()) {
+    u.assign(n, 0.0);
+  } else {
+    u = u0;
+  }
 
   // r0 = f - K u0
-  Vec r(n);
+  Vec& r = ws.r;
   k.residual(f, u, r, ex);
   if (log) {
     log->spmv_diagonals(n, ndiags);
@@ -61,17 +61,19 @@ PcgResult pcg_solve(const la::LinearOperator& k, const Vec& f,
   }
 
   // z0 = M^{-1} r0 ; p0 = z0
-  Vec z(n);
+  Vec& z = ws.z;
   m.apply(r, z);
   res.precond_applications++;
-  Vec p = z;
+  Vec& p = ws.p;
+  p = z;
   if (log) log->vec_op(n, 1);
 
   double rho = ex.dot(z, r);
   if (log) log->dot_op(n);
   res.inner_products++;
 
-  Vec w(n);
+  Vec& w = ws.w;
+  w.resize(n);
   const double f_norm = ex.nrm2(f);
 
   for (int it = 0; it < options.max_iterations; ++it) {
@@ -133,10 +135,13 @@ PcgResult pcg_solve(const la::LinearOperator& k, const Vec& f,
   }
 
   res.final_residual2 = [&] {
-    Vec rr(n);
-    k.residual(f, u, rr, ex);
-    return ex.nrm2(rr);
+    // w is dead scratch after the loop: reuse it for the final residual.
+    k.residual(f, u, w, ex);
+    return ex.nrm2(w);
   }();
+  // Moving out of the workspace leaves ws.u empty; the next solve's
+  // assign() re-grows it, which is the same single output allocation the
+  // returned solution costs anyway.
   res.solution = std::move(u);
   return res;
 }
@@ -144,8 +149,9 @@ PcgResult pcg_solve(const la::LinearOperator& k, const Vec& f,
 PcgResult pcg_solve(const la::CsrMatrix& k, const Vec& f,
                     const Preconditioner& m, const PcgOptions& options,
                     KernelLog* log, const Vec& u0,
-                    const par::Execution* exec) {
-  return pcg_solve(la::CsrOperator(k), f, m, options, log, u0, exec);
+                    const par::Execution* exec, PcgWorkspace* workspace) {
+  return pcg_solve(la::CsrOperator(k), f, m, options, log, u0, exec,
+                   workspace);
 }
 
 PcgResult cg_solve(const la::LinearOperator& k, const Vec& f,

@@ -42,26 +42,38 @@ struct PcgResult {
   std::vector<double> history;
 };
 
+/// Reusable scratch for pcg_solve: the solve-sized vectors Algorithm 1
+/// needs.  Passing one lets a caller run many solves with no per-solve
+/// allocation beyond the returned solution — the batch engine keeps one
+/// arena per worker lane.  Vectors are resized on demand and keep their
+/// capacity across solves; the contents are overwritten, never read.
+struct PcgWorkspace {
+  Vec u, r, z, p, w;
+};
+
 /// Solve K u = f with preconditioner M (Algorithm 1).  `u0` is the initial
 /// guess (zero if empty).  Instrumentation callbacks go to `log` when
 /// non-null.  `exec` (optional) threads the SpMV and vector kernels; the
 /// deterministic blocked reductions make the result BITWISE identical to
-/// the serial solve for any thread count.  Throws std::invalid_argument on
-/// dimension mismatches, a non-positive tolerance, or a non-positive
-/// iteration limit.
+/// the serial solve for any thread count.  `workspace` (optional) supplies
+/// the solve scratch so repeated solves do not allocate.  Throws
+/// std::invalid_argument on dimension mismatches, a non-positive
+/// tolerance, or a non-positive iteration limit.
 [[nodiscard]] PcgResult pcg_solve(const la::LinearOperator& k, const Vec& f,
                                   const Preconditioner& m,
                                   const PcgOptions& options = {},
                                   KernelLog* log = nullptr,
                                   const Vec& u0 = {},
-                                  const par::Execution* exec = nullptr);
+                                  const par::Execution* exec = nullptr,
+                                  PcgWorkspace* workspace = nullptr);
 
 [[nodiscard]] PcgResult pcg_solve(const la::CsrMatrix& k, const Vec& f,
                                   const Preconditioner& m,
                                   const PcgOptions& options = {},
                                   KernelLog* log = nullptr,
                                   const Vec& u0 = {},
-                                  const par::Execution* exec = nullptr);
+                                  const par::Execution* exec = nullptr,
+                                  PcgWorkspace* workspace = nullptr);
 
 /// Plain conjugate gradients (M = I, the paper's m = 0 baseline).
 [[nodiscard]] PcgResult cg_solve(const la::LinearOperator& k, const Vec& f,

@@ -70,6 +70,31 @@ void Execution::xpay(const Vec& x, double b, Vec& y) const {
   });
 }
 
+void Execution::scale_copy(double a, const Vec& x, Vec& y) const {
+  const auto n = static_cast<index_t>(x.size());
+  y.resize(x.size());
+  if (!pool_ || n < kSerialCutoff) {
+    for (index_t i = 0; i < n; ++i) y[i] = a * x[i];
+    return;
+  }
+  pool_->for_range(0, n, [&](index_t b, index_t e) {
+    for (index_t i = b; i < e; ++i) y[i] = a * x[i];
+  });
+}
+
+void Execution::hadamard(const Vec& x, const Vec& y, Vec& w) const {
+  assert(x.size() == y.size());
+  const auto n = static_cast<index_t>(x.size());
+  if (!pool_ || n < kSerialCutoff) {
+    la::hadamard(x, y, w);
+    return;
+  }
+  w.resize(x.size());
+  pool_->for_range(0, n, [&](index_t b, index_t e) {
+    for (index_t i = b; i < e; ++i) w[i] = x[i] * y[i];
+  });
+}
+
 double Execution::step_update_max(double a, const Vec& p, Vec& u) const {
   assert(p.size() == u.size());
   const auto n = static_cast<index_t>(p.size());
@@ -181,6 +206,11 @@ void Execution::spmv_sub(const la::DiaMatrix& a, const Vec& x, Vec& y) const {
       for (index_t i = lo; i < hi; ++i) y[i] -= v[i] * x[i + off];
     }
   });
+}
+
+const Execution& serial_execution() {
+  static const Execution serial;
+  return serial;
 }
 
 }  // namespace mstep::par

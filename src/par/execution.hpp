@@ -62,6 +62,10 @@ class Execution {
   void axpy(double a, const Vec& x, Vec& y) const;
   /// y <- x + b*y
   void xpay(const Vec& x, double b, Vec& y) const;
+  /// y <- a*x (y is resized; the scaled-residual copy of the m-step sweep)
+  void scale_copy(double a, const Vec& x, Vec& y) const;
+  /// w <- x .* y (w is resized; diagonal-splitting P^{-1} application)
+  void hadamard(const Vec& x, const Vec& y, Vec& w) const;
   /// Fused CG update u <- u + a*p, returning max_i |a * p[i]| (the
   /// delta-inf stopping quantity of Algorithm 1).
   double step_update_max(double a, const Vec& p, Vec& u) const;
@@ -77,5 +81,11 @@ class Execution {
   std::unique_ptr<ThreadPool> pool_;
   mutable std::vector<double> partials_;  // reduction scratch, one per block
 };
+
+/// The process-wide serial policy, for call sites that take an optional
+/// Execution and received none.  Stateless in practice (no pool, and the
+/// reduction scratch is unused on the serial path), so sharing one
+/// instance across threads is safe.
+[[nodiscard]] const Execution& serial_execution();
 
 }  // namespace mstep::par

@@ -1,10 +1,16 @@
 #include "par/thread_pool.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace mstep::par {
 
 ThreadPool::ThreadPool(int threads) {
+  if (threads < 1) {
+    throw std::invalid_argument(
+        "ThreadPool: need >= 1 thread (the caller counts); serial execution "
+        "means no pool, not a 0-thread pool");
+  }
   const int extra = std::max(0, threads - 1);
   workers_.reserve(extra);
   for (int i = 0; i < extra; ++i) {

@@ -29,7 +29,10 @@ namespace mstep::par {
 /// thread, and the pool remains usable for subsequent jobs.
 class ThreadPool {
  public:
-  /// `threads` total workers including the caller; 0 or 1 means serial.
+  /// `threads` total workers including the caller; 1 means serial.
+  /// Throws std::invalid_argument when threads < 1: a zero-thread pool
+  /// cannot exist — "no threading" is expressed by constructing no pool at
+  /// all (ExecutionConfig::resolve() == 0), never by an empty pool.
   explicit ThreadPool(int threads);
   ~ThreadPool();
 

@@ -145,6 +145,10 @@ void SolverConfig::validate() const {
     throw std::invalid_argument(
         "SolverConfig: threads must be >= 0 (0 = serial)");
   }
+  if (batch < 0) {
+    throw std::invalid_argument(
+        "SolverConfig: batch must be >= 0 (0 = auto, 1 = sequential)");
+  }
 }
 
 std::string SolverConfig::to_string() const {
@@ -159,6 +163,7 @@ std::string SolverConfig::to_string() const {
   if (execution.parallel()) {
     out += ";threads=" + std::to_string(execution.threads);
   }
+  if (batch > 0) out += ";batch=" + std::to_string(batch);
   if (record_history) out += ";history=1";
   if (interval) {
     out += ";interval=" + format_double(interval->lambda_min) + ',' +
@@ -200,6 +205,8 @@ SolverConfig SolverConfig::from_string(const std::string& text) {
       cfg.max_iterations = parse_int(value, "maxit");
     } else if (key == "threads") {
       cfg.execution.threads = parse_int(value, "threads");
+    } else if (key == "batch") {
+      cfg.batch = parse_int(value, "batch");
     } else if (key == "history") {
       cfg.record_history = parse_int(value, "history") != 0;
     } else if (key == "interval") {
@@ -243,6 +250,7 @@ SolverConfig SolverConfig::from_cli(const util::Cli& cli,
   if (cli.has("threads")) {
     cfg.execution.threads = cli.get_int("threads", cfg.execution.threads);
   }
+  if (cli.has("batch")) cfg.batch = cli.get_int("batch", cfg.batch);
   cfg.validate();
   return cfg;
 }
@@ -253,7 +261,7 @@ SolverConfig SolverConfig::from_cli(const util::Cli& cli) {
 
 std::vector<std::string> SolverConfig::cli_flags() {
   return {"splitting", "m",    "params", "ordering", "format",
-          "stop",      "tol",  "maxit",  "threads"};
+          "stop",      "tol",  "maxit",  "threads",  "batch"};
 }
 
 core::PcgOptions SolverConfig::pcg_options() const {
@@ -277,7 +285,7 @@ bool operator==(const SolverConfig& a, const SolverConfig& b) {
          a.tolerance == b.tolerance &&
          a.max_iterations == b.max_iterations &&
          a.record_history == b.record_history &&
-         a.execution == b.execution && iv_equal;
+         a.execution == b.execution && a.batch == b.batch && iv_equal;
 }
 
 }  // namespace mstep::solver

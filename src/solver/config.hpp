@@ -45,12 +45,33 @@ struct ExecutionConfig {
 
   [[nodiscard]] bool parallel() const { return threads >= 1; }
 
+  /// Pool-construction normal form: how many pool threads this config asks
+  /// for, with 0 AND 1 both collapsed to 0 — one thread is the caller, so
+  /// "one thread" and "serial" are the same policy and neither constructs
+  /// a pool.  Every site that sizes a ThreadPool/Execution from a config
+  /// goes through here, so no round-tripped config can ever request a
+  /// 0-thread pool (ThreadPool itself throws on < 1 as the backstop).
+  [[nodiscard]] int resolve() const { return threads >= 2 ? threads : 0; }
+
   friend bool operator==(const ExecutionConfig& a, const ExecutionConfig& b) {
     return a.threads == b.threads;
   }
   friend bool operator!=(const ExecutionConfig& a, const ExecutionConfig& b) {
     return !(a == b);
   }
+};
+
+/// Per-call options for Prepared::solveMany / Solver::solveMany.
+struct BatchConfig {
+  /// Maximum right-hand sides in flight at once.  0 defers to the solver
+  /// config's `batch` default, which itself defers to the width of the
+  /// solver's thread pool capped at the hardware width; 1 solves
+  /// sequentially on the calling thread.  The pool is sized at Solver
+  /// construction from max(threads, batch), so a per-call request can
+  /// never EXCEED that width — asking for 8 lanes from a solver built
+  /// with threads=0;batch=0 (no pool) runs sequentially; put the intended
+  /// width in the config's `batch` (or `threads`) to provision it.
+  int concurrency = 0;
 };
 
 struct SolverConfig {
@@ -67,6 +88,12 @@ struct SolverConfig {
   /// Serial by default; serializes as "threads=N" only when parallel, so
   /// serial config strings are unchanged from the unthreaded library.
   ExecutionConfig execution;
+  /// Default solveMany concurrency (string form ";batch=N", CLI --batch=N).
+  /// 0 = auto (one lane per pool thread); N >= 2 also guarantees the
+  /// solver's pool is at least N wide, so `threads=0;batch=8` batches
+  /// eight solves concurrently while each individual solve stays on the
+  /// serial kernel path.
+  int batch = 0;
   /// Spectrum interval for the parameter strategy; the splitting's default
   /// (e.g. [0, 1] for SSOR) when unset.
   std::optional<core::SpectrumInterval> interval;

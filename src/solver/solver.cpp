@@ -33,11 +33,61 @@ double ssor_omega(const SolverConfig& config) {
 
 }  // namespace
 
+namespace detail {
+
+PrecondChoice make_preconditioner(const SolverConfig& config,
+                                  const color::ColoredSystem* cs,
+                                  const la::CsrMatrix& matrix,
+                                  const std::vector<double>& alphas,
+                                  core::KernelLog* log,
+                                  const par::Execution* exec) {
+  PrecondChoice choice;
+  if (config.steps <= 0) {
+    choice.precond =
+        std::make_unique<core::IdentityPreconditioner>(matrix.rows());
+    return choice;
+  }
+  // Algorithm-2 fast path: the Conrad–Wallach multicolor sweep is the
+  // SSOR(omega = 1) m-step operator on the colour-permuted matrix.  With
+  // a parallel execution policy the colour classes are swept by the
+  // thread pool — bitwise the serial result (the decoupling property).
+  // Tiny systems keep the serial sweep: per-class pool dispatch costs
+  // more than it saves there (same threshold as the Execution kernels).
+  if (cs && config.splitting == "ssor" && ssor_omega(config) == 1.0) {
+    if (exec && exec->parallel() && matrix.rows() >= par::kSerialCutoff) {
+      choice.precond = std::make_unique<par::ParallelMulticolorMStepSsor>(
+          *cs, alphas, *exec->pool(), log);
+    } else {
+      choice.precond =
+          std::make_unique<core::MulticolorMStepSsor>(*cs, alphas, log);
+    }
+    return choice;
+  }
+  // Generic m-step engine: every registered splitting threads its sweep
+  // through the execution policy (deterministic, bitwise the serial
+  // sweep) instead of only the multicolor fast path.
+  choice.splitting = SplittingRegistry::instance().create(
+      config.splitting, matrix, config.splitting_options);
+  choice.precond = std::make_unique<core::MStepPreconditioner>(
+      matrix, *choice.splitting, alphas, log,
+      exec && exec->parallel() ? exec : nullptr);
+  return choice;
+}
+
+}  // namespace detail
+
 Solver::Solver(SolverConfig config) : config_(std::move(config)) {
   // One pool for the solver's whole lifetime: every Prepared (and hence
-  // every step and right-hand side) reuses the same warm threads.
-  if (config_.execution.parallel()) {
-    exec_ = std::make_shared<par::Execution>(config_.execution.threads);
+  // every step and right-hand side) reuses the same warm threads.  It is
+  // sized for the wider of the two demands on it — kernel threading
+  // (threads) and batch lanes (batch) — through ExecutionConfig::resolve(),
+  // which collapses 0 and 1 to "no pool", so no path can construct a
+  // 0-thread pool.
+  const int kernel_threads = config_.execution.resolve();
+  const int lane_threads = config_.batch >= 2 ? config_.batch : 0;
+  const int pool_threads = std::max(kernel_threads, lane_threads);
+  if (pool_threads > 0) {
+    exec_ = std::make_shared<par::Execution>(pool_threads);
   }
 }
 
@@ -91,32 +141,15 @@ Prepared Solver::prepare(const la::CsrMatrix& k,
                                                config_.splitting_options);
     p.alphas_ = ParamStrategyRegistry::instance().alphas(
         config_.params, config_.steps, p.interval_);
-
-    // Algorithm-2 fast path: the Conrad–Wallach multicolor sweep is the
-    // SSOR(omega = 1) m-step operator on the colour-permuted matrix.  With
-    // a parallel execution policy the colour classes are swept by the
-    // thread pool — bitwise the serial result (the decoupling property).
-    // Tiny systems keep the serial sweep: per-class pool dispatch costs
-    // more than it saves there (same threshold as the Execution kernels).
-    if (p.cs_ && config_.splitting == "ssor" && ssor_omega(config_) == 1.0) {
-      if (p.exec_ && p.exec_->parallel() &&
-          p.matrix_->rows() >= par::kSerialCutoff) {
-        p.precond_ = std::make_unique<par::ParallelMulticolorMStepSsor>(
-            *p.cs_, p.alphas_, *p.exec_->pool(), log);
-      } else {
-        p.precond_ = std::make_unique<core::MulticolorMStepSsor>(
-            *p.cs_, p.alphas_, log);
-      }
-    } else {
-      p.splitting_ = SplittingRegistry::instance().create(
-          config_.splitting, *p.matrix_, config_.splitting_options);
-      p.precond_ = std::make_unique<core::MStepPreconditioner>(
-          *p.matrix_, *p.splitting_, p.alphas_, log);
-    }
-  } else {
-    p.precond_ = std::make_unique<core::IdentityPreconditioner>(
-        p.matrix_->rows());
   }
+  // kernel_exec() gates on threads >= 2: a pool that exists only for
+  // batch lanes leaves the single-solve path serial.  The factory is
+  // shared with the batch lanes, so a lane's operator is by construction
+  // the solve path's (m = 0 yields the identity).
+  auto choice = detail::make_preconditioner(
+      config_, p.cs_.get(), *p.matrix_, p.alphas_, log, p.kernel_exec());
+  p.splitting_ = std::move(choice.splitting);
+  p.precond_ = std::move(choice.precond);
 
   // 3. Operator view for the outer CG products.
   if (config_.format == MatrixFormat::kDia) {
@@ -140,6 +173,17 @@ SolveReport Solver::solve(const la::CsrMatrix& k, const Vec& f,
   return prepare(k, classes, log).solve(f, u0);
 }
 
+BatchReport Solver::solveMany(const la::CsrMatrix& k, util::Span<const Vec> bs,
+                              const BatchConfig& batch) const {
+  return prepare(k).solveMany(bs, batch);
+}
+
+BatchReport Solver::solveMany(const la::CsrMatrix& k, util::Span<const Vec> bs,
+                              const color::ColorClasses& classes,
+                              const BatchConfig& batch) const {
+  return prepare(k, classes).solveMany(bs, batch);
+}
+
 Vec Prepared::permute(const Vec& x) const {
   return cs_ ? cs_->permute(x) : x;
 }
@@ -154,7 +198,7 @@ SolveReport Prepared::solve(const Vec& f, const Vec& u0) const {
 
   SolveReport report;
   report.result = core::pcg_solve(*op_, fp, *precond_, config_.pcg_options(),
-                                  log_, u0p, exec_.get());
+                                  log_, u0p, kernel_exec());
   report.solution = unpermute(report.result.solution);
   report.alphas = alphas_;
   report.interval = interval_;

@@ -10,6 +10,8 @@
 // solve so one factorization serves many right-hand sides.
 #pragma once
 
+#include <cstddef>
+#include <exception>
 #include <memory>
 #include <optional>
 #include <string>
@@ -24,6 +26,7 @@
 #include "par/execution.hpp"
 #include "solver/config.hpp"
 #include "split/splitting.hpp"
+#include "util/span.hpp"
 
 namespace mstep::solver {
 
@@ -57,6 +60,51 @@ struct SolveReport {
   }
 };
 
+namespace detail {
+
+/// The one preconditioner-selection policy, shared by Solver::prepare (the
+/// solve path, which may thread through `exec`) and the batch engine's
+/// worker lanes (which pass exec = nullptr for the serial twin): the
+/// Algorithm-2 Conrad–Wallach sweep for multicolor SSOR(omega = 1), the
+/// generic m-step engine for every other splitting, the identity for
+/// m = 0.  Keeping the choice in one place is what guarantees a batch
+/// lane's operator is mathematically the solve path's.
+struct PrecondChoice {
+  std::unique_ptr<split::Splitting> splitting;  // set on the generic path
+  std::unique_ptr<core::Preconditioner> precond;
+};
+
+[[nodiscard]] PrecondChoice make_preconditioner(
+    const SolverConfig& config, const color::ColoredSystem* cs,
+    const la::CsrMatrix& matrix, const std::vector<double>& alphas,
+    core::KernelLog* log, const par::Execution* exec);
+
+}  // namespace detail
+
+/// Everything a batched solve produced: one SolveReport per right-hand
+/// side (input order) plus a per-RHS error channel — one bad right-hand
+/// side never poisons the rest of the batch — and aggregate throughput
+/// numbers.
+struct BatchReport {
+  std::vector<SolveReport> reports;        // reports[i] belongs to bs[i]
+  std::vector<std::exception_ptr> errors;  // errors[i] set iff RHS i threw
+  int concurrency = 0;                     // worker lanes actually used
+  double wall_seconds = 0.0;               // whole-batch wall time
+
+  [[nodiscard]] std::size_t size() const { return reports.size(); }
+  /// True when right-hand side i solved without throwing.
+  [[nodiscard]] bool ok(std::size_t i) const { return !errors[i]; }
+  [[nodiscard]] std::size_t num_failed() const;
+  /// Every right-hand side solved AND converged.
+  [[nodiscard]] bool all_converged() const;
+  [[nodiscard]] long long total_iterations() const;
+  /// Aggregate throughput: successfully solved RHSs per wall second.
+  [[nodiscard]] double solves_per_second() const;
+  /// Rethrow the first per-RHS exception; no-op when the batch is clean.
+  /// The reports of the other right-hand sides stay valid either way.
+  void rethrow_first_error() const;
+};
+
 class Prepared;
 
 class Solver {
@@ -68,9 +116,11 @@ class Solver {
 
   [[nodiscard]] const SolverConfig& config() const { return config_; }
 
-  /// The execution engine backing this solver's kernels, shared by every
-  /// Prepared it creates so one thread pool serves all steps and
-  /// right-hand sides; nullptr when the config is serial (threads = 0).
+  /// The execution engine backing this solver's kernels and batch lanes,
+  /// shared by every Prepared it creates so one thread pool serves all
+  /// steps and right-hand sides.  The pool is sized for the wider of the
+  /// two demands (`threads`, `batch`); nullptr when neither asks for
+  /// parallelism (threads in {0, 1} and batch in {0, 1}).
   [[nodiscard]] const par::Execution* execution() const {
     return exec_.get();
   }
@@ -96,6 +146,16 @@ class Solver {
                                   core::KernelLog* log = nullptr,
                                   const Vec& u0 = {}) const;
 
+  /// One-call batched form: prepare once, then solve every right-hand
+  /// side concurrently through Prepared::solveMany.
+  [[nodiscard]] BatchReport solveMany(const la::CsrMatrix& k,
+                                      util::Span<const Vec> bs,
+                                      const BatchConfig& batch = {}) const;
+  [[nodiscard]] BatchReport solveMany(const la::CsrMatrix& k,
+                                      util::Span<const Vec> bs,
+                                      const color::ColorClasses& classes,
+                                      const BatchConfig& batch = {}) const;
+
  private:
   explicit Solver(SolverConfig config);
 
@@ -110,6 +170,20 @@ class Prepared {
  public:
   /// Solve for one right-hand side (caller's ordering, as is `u0`).
   [[nodiscard]] SolveReport solve(const Vec& f, const Vec& u0 = {}) const;
+
+  /// Solve many independent right-hand sides concurrently, reusing this
+  /// pipeline's one coloring/splitting/alpha setup.  Work-stealing
+  /// round-robin over the RHSs on the solver's shared thread pool: each
+  /// worker lane owns a scratch arena (its own serial preconditioner
+  /// instance and PCG workspace), grabs the next unsolved RHS, and runs a
+  /// full serial-kernel PCG on it — so nothing allocates inside the batch
+  /// loop beyond each report's solution, and every per-RHS result is
+  /// BITWISE identical to the corresponding serial solve(bs[i]).  A
+  /// throwing right-hand side records its exception in the report's error
+  /// channel; the remaining RHSs still complete.  Kernel logging is
+  /// single-stream and therefore skipped in batched solves.
+  [[nodiscard]] BatchReport solveMany(util::Span<const Vec> bs,
+                                      const BatchConfig& batch = {}) const;
 
   /// The matrix PCG iterates on (colour-permuted when multicolour).
   [[nodiscard]] const la::CsrMatrix& matrix() const { return *matrix_; }
@@ -128,6 +202,14 @@ class Prepared {
  private:
   friend class Solver;
   Prepared() = default;
+
+  /// The execution policy for in-solve kernels: set only when the config
+  /// asked for kernel threading (threads >= 2), NOT when the pool exists
+  /// merely to serve batch lanes — `threads=0;batch=8` keeps every
+  /// individual solve on the serial kernel path.
+  [[nodiscard]] const par::Execution* kernel_exec() const {
+    return config_.execution.resolve() > 0 ? exec_.get() : nullptr;
+  }
 
   SolverConfig config_;
   // cs_ and dia_ live on the heap so every internal pointer (matrix_, the

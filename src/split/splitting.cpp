@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "par/execution.hpp"
+
 namespace mstep::split {
 
 JacobiSplitting::JacobiSplitting(const la::CsrMatrix& k) {
@@ -22,6 +24,12 @@ void JacobiSplitting::apply_pinv(const Vec& x, Vec& y) const {
   for (std::size_t i = 0; i < x.size(); ++i) y[i] = inv_diag_[i] * x[i];
 }
 
+void JacobiSplitting::apply_pinv(const Vec& x, Vec& y,
+                                 const par::Execution& ex) const {
+  assert(x.size() == inv_diag_.size());
+  ex.hadamard(inv_diag_, x, y);
+}
+
 SsorSplitting::SsorSplitting(const la::CsrMatrix& k, double omega)
     : k_(&k), diag_(k.diagonal()), omega_(omega) {
   if (omega <= 0.0 || omega >= 2.0) {
@@ -37,8 +45,11 @@ void SsorSplitting::apply_pinv(const Vec& x, Vec& y) const {
   const auto& val = k_->values();
 
   // z = (D - omega L)^{-1} x  (forward substitution; L = strictly-lower
-  // part with the sign convention K = D - L - U, so L_ij = -K_ij).
-  Vec z(n);
+  // part with the sign convention K = D - L - U, so L_ij = -K_ij).  The
+  // scratch persists across applies so repeated applications (the m-step
+  // recurrence, the batch engine's inner loop) do not allocate.
+  fwd_.resize(n);
+  Vec& z = fwd_;
   for (index_t i = 0; i < n; ++i) {
     double s = x[i];
     for (index_t t = rp[i]; t < rp[i + 1] && col[t] < i; ++t) {
@@ -63,6 +74,12 @@ void RichardsonSplitting::apply_pinv(const Vec& x, Vec& y) const {
   assert(static_cast<index_t>(x.size()) == n_);
   y.resize(n_);
   for (index_t i = 0; i < n_; ++i) y[i] = theta_ * x[i];
+}
+
+void RichardsonSplitting::apply_pinv(const Vec& x, Vec& y,
+                                     const par::Execution& ex) const {
+  assert(static_cast<index_t>(x.size()) == n_);
+  ex.scale_copy(theta_, x, y);
 }
 
 }  // namespace mstep::split

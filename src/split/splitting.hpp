@@ -12,10 +12,17 @@
 #include "la/csr_matrix.hpp"
 #include "la/vector.hpp"
 
+namespace mstep::par {
+class Execution;  // par/execution.hpp — the threaded kernel policy
+}
+
 namespace mstep::split {
 
 /// Abstract splitting K = P - Q.  Implementations hold a reference to the
-/// matrix; the caller keeps it alive.
+/// matrix; the caller keeps it alive.  An instance may own mutable scratch
+/// (SSOR's forward-substitution vector), so one instance must not be
+/// applied from several threads at once — concurrent users (the batch
+/// engine) hold one instance per worker lane.
 class Splitting {
  public:
   virtual ~Splitting() = default;
@@ -24,6 +31,15 @@ class Splitting {
 
   /// y = P^{-1} x.
   virtual void apply_pinv(const Vec& x, Vec& y) const = 0;
+
+  /// Execution-policy form: bitwise the same y as apply_pinv(x, y).  The
+  /// elementwise splittings (Jacobi, Richardson) partition across `ex`'s
+  /// threads; the base implementation — and SSOR, whose triangular solves
+  /// are inherently row-sequential — ignores `ex` and runs serially.
+  virtual void apply_pinv(const Vec& x, Vec& y, const par::Execution& ex) const {
+    (void)ex;
+    apply_pinv(x, y);
+  }
 
   /// Human-readable name for reports.
   [[nodiscard]] virtual std::string name() const = 0;
@@ -40,6 +56,8 @@ class JacobiSplitting : public Splitting {
     return static_cast<index_t>(inv_diag_.size());
   }
   void apply_pinv(const Vec& x, Vec& y) const override;
+  void apply_pinv(const Vec& x, Vec& y,
+                  const par::Execution& ex) const override;
   [[nodiscard]] std::string name() const override { return "jacobi"; }
 
   [[nodiscard]] const Vec& inverse_diagonal() const { return inv_diag_; }
@@ -68,6 +86,7 @@ class SsorSplitting : public Splitting {
   const la::CsrMatrix* k_;
   Vec diag_;
   double omega_;
+  mutable Vec fwd_;  // forward-substitution scratch, reused across applies
 };
 
 /// Richardson splitting P = (1/theta) I — mostly for tests (G = I - theta K
@@ -78,6 +97,8 @@ class RichardsonSplitting : public Splitting {
 
   [[nodiscard]] index_t size() const override { return n_; }
   void apply_pinv(const Vec& x, Vec& y) const override;
+  void apply_pinv(const Vec& x, Vec& y,
+                  const par::Execution& ex) const override;
   [[nodiscard]] std::string name() const override { return "richardson"; }
 
  private:

@@ -1,0 +1,43 @@
+// Minimal non-owning contiguous view (std::span is C++20, the library is
+// C++17): pointer + length, implicitly constructible from the owners the
+// batched-solve API actually meets — std::vector and C arrays.  The viewed
+// storage must outlive the span.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace mstep::util {
+
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(T* data, std::size_t size) : data_(data), size_(size) {}
+
+  // NOLINTNEXTLINE(google-explicit-constructor): view types convert freely.
+  Span(std::vector<std::remove_const_t<T>>& v)
+      : data_(v.data()), size_(v.size()) {}
+  // Const-vector form; only instantiable when T is const.
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Span(const std::vector<std::remove_const_t<T>>& v)
+      : data_(v.data()), size_(v.size()) {}
+
+  template <std::size_t N>
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  constexpr Span(T (&arr)[N]) : data_(arr), size_(N) {}
+
+  [[nodiscard]] constexpr std::size_t size() const { return size_; }
+  [[nodiscard]] constexpr bool empty() const { return size_ == 0; }
+  [[nodiscard]] constexpr T* data() const { return data_; }
+  constexpr T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] constexpr T* begin() const { return data_; }
+  [[nodiscard]] constexpr T* end() const { return data_ + size_; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mstep::util

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Compare a benchmark JSON against a committed baseline with tolerance.
+
+The CI perf gate runs the bench harnesses in smoke mode and feeds their
+BENCH_*.json through this script:
+
+    tools/check_bench.py \
+        --baseline bench/baselines/BENCH_batch.json \
+        --candidate BENCH_batch.json \
+        --key workload \
+        --metric speedup_vs_seq_threaded:higher \
+        --require bitwise_match_serial=true --require converged=true \
+        --tolerance 0.25
+
+Both files hold a JSON array of flat objects.  Rows are matched by the
+--key fields; every baseline row must exist in the candidate.  For each
+--metric NAME:DIRECTION the candidate value must be within --tolerance of
+the baseline: for "higher"-is-better metrics, candidate >= baseline * (1 -
+tol); for "lower", candidate <= baseline * (1 + tol).  --require NAME=VALUE
+asserts an exact (stringified, case-insensitive) field value — the
+machine-independent hard checks (bitwise match, convergence).
+
+Only scale-free metrics (speedups, iteration counts) belong in the gate:
+absolute wall seconds differ across runner generations.  To refresh the
+baselines after an intentional perf change, rerun the smoke commands (see
+.github/workflows/ci.yml, perf-gate job) and commit the regenerated files
+under bench/baselines/.
+
+Exit codes: 0 ok, 1 regression/mismatch, 2 usage or I/O error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def parse_args(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--candidate", required=True)
+    ap.add_argument("--key", default="workload",
+                    help="comma-separated fields identifying a row")
+    ap.add_argument("--metric", action="append", default=[],
+                    metavar="NAME:higher|lower",
+                    help="relative-tolerance metric check (repeatable)")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="NAME=VALUE",
+                    help="exact field check on candidate rows (repeatable)")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed relative regression (default 0.25 = 25%%)")
+    return ap.parse_args(argv)
+
+
+def load_rows(path):
+    try:
+        with open(path) as f:
+            rows = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"check_bench: cannot read {path}: {e}")
+    if not isinstance(rows, list) or not all(isinstance(r, dict) for r in rows):
+        sys.exit(f"check_bench: {path} is not a JSON array of objects")
+    return rows
+
+
+def row_key(row, fields):
+    try:
+        return tuple((f, row[f]) for f in fields)
+    except KeyError as e:
+        sys.exit(f"check_bench: row {row} lacks key field {e}")
+
+
+def main(argv):
+    args = parse_args(argv)
+    key_fields = [f for f in args.key.split(",") if f]
+    metrics = []
+    for spec in args.metric:
+        name, _, direction = spec.partition(":")
+        if direction not in ("higher", "lower"):
+            sys.exit(f"check_bench: metric '{spec}' needs :higher or :lower")
+        metrics.append((name, direction))
+    requires = []
+    for spec in args.require:
+        name, eq, value = spec.partition("=")
+        if not eq:
+            sys.exit(f"check_bench: require '{spec}' needs NAME=VALUE")
+        requires.append((name, value))
+
+    baseline = {row_key(r, key_fields): r for r in load_rows(args.baseline)}
+    candidate = {row_key(r, key_fields): r for r in load_rows(args.candidate)}
+
+    failures = []
+    checks = 0
+    for key, base_row in baseline.items():
+        label = ", ".join(f"{f}={v}" for f, v in key)
+        cand_row = candidate.get(key)
+        if cand_row is None:
+            failures.append(f"[{label}] missing from candidate")
+            continue
+        for name, value in requires:
+            checks += 1
+            got = str(cand_row.get(name)).lower()
+            if got != value.lower():
+                failures.append(f"[{label}] {name} = {got}, required {value}")
+        for name, direction in metrics:
+            if name not in base_row:
+                sys.exit(f"check_bench: baseline [{label}] lacks '{name}'")
+            if name not in cand_row:
+                failures.append(f"[{label}] candidate lacks '{name}'")
+                continue
+            checks += 1
+            base = float(base_row[name])
+            cand = float(cand_row[name])
+            if direction == "higher":
+                limit = base * (1.0 - args.tolerance)
+                ok = cand >= limit
+                verdict = f">= {limit:.4g}"
+            else:
+                limit = base * (1.0 + args.tolerance)
+                ok = cand <= limit
+                verdict = f"<= {limit:.4g}"
+            status = "ok  " if ok else "FAIL"
+            print(f"  {status} [{label}] {name}: candidate {cand:.4g} vs "
+                  f"baseline {base:.4g} (need {verdict})")
+            if not ok:
+                failures.append(
+                    f"[{label}] {name} regressed: {cand:.4g} vs baseline "
+                    f"{base:.4g} (tolerance {args.tolerance:.0%})")
+
+    print(f"check_bench: {checks} checks, {len(failures)} failure(s) "
+          f"({args.baseline} vs {args.candidate})")
+    for f in failures:
+        print(f"  REGRESSION: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
