@@ -32,6 +32,7 @@
 #include "fem/plate_mesh.hpp"
 #include "solver/solver.hpp"
 #include "util/cli.hpp"
+#include "util/json_writer.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -241,29 +242,30 @@ int main(int argc, char** argv) {
       std::cout << '\n';
     }
 
-    std::ofstream json(out_path);
-    json << "[\n";
-    for (std::size_t i = 0; i < runs.size(); ++i) {
-      const Run& r = runs[i];
-      json << "  {\"workload\": \"" << r.workload << "\", \"n\": " << r.n
-           << ", \"rhs\": " << r.rhs << ", \"threads\": " << r.threads
-           << ", \"batch\": " << r.batch
-           << ", \"iterations_total\": " << r.iterations_total
-           << ", \"converged\": " << (r.converged ? "true" : "false")
-           << ", \"bitwise_match_serial\": "
-           << (r.bitwise_match_serial ? "true" : "false")
-           << ", \"seq_solve_calls_seconds\": " << r.seq_solve_calls_seconds
-           << ", \"seq_serial_seconds\": " << r.seq_serial_seconds
-           << ", \"seq_threaded_seconds\": " << r.seq_threaded_seconds
-           << ", \"batch_seconds\": " << r.batch_seconds
-           << ", \"throughput_batch\": " << r.throughput_batch
-           << ", \"speedup_vs_seq_solve_calls\": "
-           << r.speedup_vs_seq_solve_calls
-           << ", \"speedup_vs_seq_serial\": " << r.speedup_vs_seq_serial
-           << ", \"speedup_vs_seq_threaded\": " << r.speedup_vs_seq_threaded
-           << "}" << (i + 1 < runs.size() ? "," : "") << '\n';
+    util::Json rows = util::Json::array();
+    for (const Run& r : runs) {
+      rows.push(util::Json::object()
+                    .set("workload", r.workload)
+                    .set("n", r.n)
+                    .set("rhs", r.rhs)
+                    .set("threads", r.threads)
+                    .set("batch", r.batch)
+                    .set("iterations_total", r.iterations_total)
+                    .set("converged", r.converged)
+                    .set("bitwise_match_serial", r.bitwise_match_serial)
+                    .set("seq_solve_calls_seconds", r.seq_solve_calls_seconds)
+                    .set("seq_serial_seconds", r.seq_serial_seconds)
+                    .set("seq_threaded_seconds", r.seq_threaded_seconds)
+                    .set("batch_seconds", r.batch_seconds)
+                    .set("throughput_batch", r.throughput_batch)
+                    .set("speedup_vs_seq_solve_calls",
+                         r.speedup_vs_seq_solve_calls)
+                    .set("speedup_vs_seq_serial", r.speedup_vs_seq_serial)
+                    .set("speedup_vs_seq_threaded",
+                         r.speedup_vs_seq_threaded));
     }
-    json << "]\n";
+    std::ofstream json(out_path);
+    rows.dump(json);
     std::cout << "wrote " << out_path << '\n';
 
     if (!all_ok) {

@@ -26,6 +26,7 @@
 #include "femsim/dist_solver.hpp"
 #include "solver/solver.hpp"
 #include "util/cli.hpp"
+#include "util/json_writer.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -170,21 +171,20 @@ int run_thread_scaling(const util::Cli& cli) {
     std::cout << '\n';
   }
 
-  std::ofstream json(out_path);
-  json << "[\n";
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    const Run& r = runs[i];
-    json << "  {\"workload\": \"" << r.workload << "\", \"n\": " << r.n
-         << ", \"threads\": " << r.threads
-         << ", \"iterations\": " << r.iterations
-         << ", \"converged\": " << (r.converged ? "true" : "false")
-         << ", \"wall_seconds\": " << r.wall_seconds
-         << ", \"speedup_vs_serial\": " << r.speedup_vs_serial
-         << ", \"bitwise_match_serial\": "
-         << (r.bitwise_match_serial ? "true" : "false") << "}"
-         << (i + 1 < runs.size() ? "," : "") << '\n';
+  util::Json rows = util::Json::array();
+  for (const Run& r : runs) {
+    rows.push(util::Json::object()
+                  .set("workload", r.workload)
+                  .set("n", r.n)
+                  .set("threads", r.threads)
+                  .set("iterations", r.iterations)
+                  .set("converged", r.converged)
+                  .set("wall_seconds", r.wall_seconds)
+                  .set("speedup_vs_serial", r.speedup_vs_serial)
+                  .set("bitwise_match_serial", r.bitwise_match_serial));
   }
-  json << "]\n";
+  std::ofstream json(out_path);
+  rows.dump(json);
   std::cout << "wrote " << out_path << '\n';
 
   bool all_match = true;

@@ -1,0 +1,609 @@
+#include "io/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "la/dia_matrix.hpp"
+#include "util/spec.hpp"
+
+namespace mstep::io {
+
+namespace {
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// Splits one line into whitespace-separated tokens, remembering the
+/// 1-based column each token starts at — the source of the ":col" part
+/// of every diagnostic.
+struct LineTokens {
+  std::vector<std::string> tokens;
+  std::vector<std::size_t> columns;  // 1-based start column per token
+
+  LineTokens() = default;
+  explicit LineTokens(const std::string& line) {
+    std::size_t i = 0;
+    while (i < line.size()) {
+      while (i < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[i]))) {
+        ++i;
+      }
+      if (i >= line.size()) break;
+      const std::size_t start = i;
+      while (i < line.size() &&
+             !std::isspace(static_cast<unsigned char>(line[i]))) {
+        ++i;
+      }
+      tokens.push_back(line.substr(start, i - start));
+      columns.push_back(start + 1);
+    }
+  }
+};
+
+/// Reads lines, tracks the position, and throws positioned diagnostics.
+class Parser {
+ public:
+  Parser(std::istream& in, std::string name)
+      : in_(in), name_(std::move(name)) {}
+
+  [[noreturn]] void fail(const std::string& message,
+                         std::size_t column = 0) const {
+    throw MatrixMarketError(name_, line_number_, column, message);
+  }
+
+  /// Next line that holds tokens (comments and blank lines skipped);
+  /// false at end of file.
+  bool next_content_line(LineTokens* out) {
+    std::string line;
+    while (std::getline(in_, line)) {
+      ++line_number_;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!line.empty() && line[0] == '%') continue;  // comment
+      LineTokens lt(line);
+      if (lt.tokens.empty()) continue;  // blank
+      *out = std::move(lt);
+      return true;
+    }
+    ++line_number_;  // diagnostics for "unexpected end of file" point past it
+    return false;
+  }
+
+  /// Raw next line (no comment skipping) — only for the banner, which
+  /// must be the very first line.
+  bool next_raw_line(std::string* out) {
+    if (!std::getline(in_, *out)) {
+      ++line_number_;  // "missing banner" points at line 1
+      return false;
+    }
+    ++line_number_;
+    if (!out->empty() && out->back() == '\r') out->pop_back();
+    return true;
+  }
+
+  long long parse_index(const LineTokens& lt, std::size_t t,
+                        const char* what) const {
+    const std::string& tok = lt.tokens[t];
+    try {
+      std::size_t pos = 0;
+      const long long v = std::stoll(tok, &pos);
+      if (pos != tok.size()) throw std::invalid_argument(tok);
+      return v;
+    } catch (const std::out_of_range&) {
+      fail(std::string("integer ") + what + " '" + tok + "' overflows",
+           lt.columns[t]);
+    } catch (const std::exception&) {
+      fail(std::string("expected integer ") + what + ", got '" + tok + "'",
+           lt.columns[t]);
+    }
+  }
+
+  double parse_value(const LineTokens& lt, std::size_t t, MmField field) const {
+    const std::string& tok = lt.tokens[t];
+    if (field == MmField::kInteger) {
+      return static_cast<double>(parse_index(lt, t, "value"));
+    }
+    // strtod, not std::stod: a subnormal like 1e-320 is a valid Matrix
+    // Market value but makes stod throw out_of_range (ERANGE underflow).
+    // The Matrix Market grammar is plain decimal floats: no 'inf'/'nan'
+    // tokens (which strtod would happily parse into a silently broken
+    // matrix) and no hex floats.
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size() || end == tok.c_str() ||
+        tok.find_first_of("xX") != std::string::npos) {
+      fail("expected numeric value, got '" + tok + "'", lt.columns[t]);
+    }
+    if (errno == ERANGE && std::isinf(v)) {
+      fail("value '" + tok + "' overflows the double range", lt.columns[t]);
+    }
+    if (!std::isfinite(v)) {
+      fail("value '" + tok + "' is not finite", lt.columns[t]);
+    }
+    return v;
+  }
+
+  [[nodiscard]] std::size_t line_number() const { return line_number_; }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::istream& in_;
+  std::string name_;
+  std::size_t line_number_ = 0;
+};
+
+MmHeader parse_banner(Parser& p) {
+  std::string line;
+  if (!p.next_raw_line(&line)) p.fail("empty file: missing banner");
+  const LineTokens lt(line);
+  if (lt.tokens.empty() || lower(lt.tokens[0]) != "%%matrixmarket") {
+    p.fail("banner must start with '%%MatrixMarket'", 1);
+  }
+  if (lt.tokens.size() != 5) {
+    p.fail("banner wants '%%MatrixMarket matrix <format> <field> <symmetry>'");
+  }
+  if (lower(lt.tokens[1]) != "matrix") {
+    p.fail("unsupported object '" + lt.tokens[1] + "' (only 'matrix')",
+           lt.columns[1]);
+  }
+  MmHeader h;
+  const std::string format = lower(lt.tokens[2]);
+  if (format == "coordinate") {
+    h.format = MmFormat::kCoordinate;
+  } else if (format == "array") {
+    h.format = MmFormat::kArray;
+  } else {
+    p.fail("unknown format '" + lt.tokens[2] +
+               "' (coordinate | array)",
+           lt.columns[2]);
+  }
+  const std::string field = lower(lt.tokens[3]);
+  if (field == "real") {
+    h.field = MmField::kReal;
+  } else if (field == "integer") {
+    h.field = MmField::kInteger;
+  } else if (field == "pattern") {
+    h.field = MmField::kPattern;
+  } else if (field == "complex") {
+    p.fail("complex matrices are not supported", lt.columns[3]);
+  } else {
+    p.fail("unknown field '" + lt.tokens[3] +
+               "' (real | integer | pattern)",
+           lt.columns[3]);
+  }
+  const std::string symmetry = lower(lt.tokens[4]);
+  if (symmetry == "general") {
+    h.symmetry = MmSymmetry::kGeneral;
+  } else if (symmetry == "symmetric") {
+    h.symmetry = MmSymmetry::kSymmetric;
+  } else if (symmetry == "skew-symmetric") {
+    h.symmetry = MmSymmetry::kSkewSymmetric;
+  } else if (symmetry == "hermitian") {
+    p.fail("hermitian matrices are not supported", lt.columns[4]);
+  } else {
+    p.fail("unknown symmetry '" + lt.tokens[4] +
+               "' (general | symmetric | skew-symmetric)",
+           lt.columns[4]);
+  }
+  if (h.format == MmFormat::kArray && h.field == MmField::kPattern) {
+    p.fail("array format cannot have a pattern field", lt.columns[3]);
+  }
+  return h;
+}
+
+index_t checked_dim(Parser& p, const LineTokens& lt, std::size_t t,
+                    const char* what) {
+  const long long v = p.parse_index(lt, t, what);
+  if (v < 0 || v > std::numeric_limits<index_t>::max()) {
+    p.fail(std::string(what) + " " + lt.tokens[t] +
+               " does not fit the 32-bit index type",
+           lt.columns[t]);
+  }
+  return static_cast<index_t>(v);
+}
+
+/// One stored coordinate entry of the file, before symmetry expansion.
+struct StoredEntry {
+  index_t i, j;
+  double v;
+  std::size_t line = 0;  // source line, for the duplicate diagnostic
+};
+
+/// Duplicate coordinates are invalid (CooBuilder would silently sum
+/// them).  Sort-and-scan instead of a std::set: no per-entry node
+/// allocations on the read path.
+void check_duplicates(const Parser& p, const std::vector<StoredEntry>& entries) {
+  std::vector<std::size_t> order(entries.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return entries[a].i != entries[b].i ? entries[a].i < entries[b].i
+                                        : entries[a].j < entries[b].j;
+  });
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    const StoredEntry& prev = entries[order[k - 1]];
+    const StoredEntry& cur = entries[order[k]];
+    if (prev.i == cur.i && prev.j == cur.j) {
+      throw MatrixMarketError(
+          p.name(), std::max(prev.line, cur.line), 1,
+          "duplicate entry (" + std::to_string(cur.i + 1) + ", " +
+              std::to_string(cur.j + 1) + ")");
+    }
+  }
+}
+
+la::CsrMatrix assemble(index_t rows, index_t cols, MmSymmetry symmetry,
+                       const std::vector<StoredEntry>& entries) {
+  la::CooBuilder builder(rows, cols);
+  for (const auto& e : entries) {
+    builder.add(e.i, e.j, e.v);
+    if (e.i != e.j) {
+      if (symmetry == MmSymmetry::kSymmetric) builder.add(e.j, e.i, e.v);
+      if (symmetry == MmSymmetry::kSkewSymmetric) builder.add(e.j, e.i, -e.v);
+    }
+  }
+  return builder.build();
+}
+
+la::CsrMatrix read_coordinate(Parser& p, const MmHeader& h, index_t rows,
+                              index_t cols, index_t nnz) {
+  std::vector<StoredEntry> entries;
+  entries.reserve(static_cast<std::size_t>(nnz));
+  LineTokens lt;
+  for (index_t e = 0; e < nnz; ++e) {
+    if (!p.next_content_line(&lt)) {
+      p.fail("unexpected end of file: expected " + std::to_string(nnz) +
+             " entries, got " + std::to_string(e));
+    }
+    const std::size_t want = h.field == MmField::kPattern ? 2 : 3;
+    if (lt.tokens.size() != want) {
+      p.fail("entry wants " + std::to_string(want) + " tokens (" +
+                 (want == 2 ? "row col" : "row col value") + "), got " +
+                 std::to_string(lt.tokens.size()),
+             lt.columns[0]);
+    }
+    const long long i1 = p.parse_index(lt, 0, "row index");
+    const long long j1 = p.parse_index(lt, 1, "column index");
+    if (i1 < 1 || i1 > rows) {
+      p.fail("row index " + std::to_string(i1) + " outside [1, " +
+                 std::to_string(rows) + "]",
+             lt.columns[0]);
+    }
+    if (j1 < 1 || j1 > cols) {
+      p.fail("column index " + std::to_string(j1) + " outside [1, " +
+                 std::to_string(cols) + "]",
+             lt.columns[1]);
+    }
+    const index_t i = static_cast<index_t>(i1 - 1);
+    const index_t j = static_cast<index_t>(j1 - 1);
+    if (h.symmetry != MmSymmetry::kGeneral && j > i) {
+      p.fail(to_string(h.symmetry) +
+                 " storage keeps only the lower triangle; entry (" +
+                 std::to_string(i1) + ", " + std::to_string(j1) +
+                 ") lies above the diagonal",
+             lt.columns[0]);
+    }
+    if (h.symmetry == MmSymmetry::kSkewSymmetric && i == j) {
+      p.fail("skew-symmetric matrices have no diagonal entries, got (" +
+                 std::to_string(i1) + ", " + std::to_string(j1) + ")",
+             lt.columns[0]);
+    }
+    const double v =
+        h.field == MmField::kPattern ? 1.0 : p.parse_value(lt, 2, h.field);
+    entries.push_back({i, j, v, p.line_number()});
+  }
+  if (p.next_content_line(&lt)) {
+    p.fail("extra entry after the declared " + std::to_string(nnz),
+           lt.columns[0]);
+  }
+  check_duplicates(p, entries);
+  return assemble(rows, cols, h.symmetry, entries);
+}
+
+la::CsrMatrix read_array(Parser& p, const MmHeader& h, index_t rows,
+                         index_t cols) {
+  if (h.symmetry != MmSymmetry::kGeneral && rows != cols) {
+    p.fail(to_string(h.symmetry) + " array matrix must be square, got " +
+           std::to_string(rows) + "x" + std::to_string(cols));
+  }
+  std::vector<StoredEntry> entries;
+  LineTokens lt;
+  // Column-major listing; symmetric stores i >= j, skew i > j.
+  for (index_t j = 0; j < cols; ++j) {
+    index_t i0 = 0;
+    if (h.symmetry == MmSymmetry::kSymmetric) i0 = j;
+    if (h.symmetry == MmSymmetry::kSkewSymmetric) i0 = j + 1;
+    for (index_t i = i0; i < rows; ++i) {
+      if (!p.next_content_line(&lt)) {
+        p.fail("unexpected end of file in the dense value listing");
+      }
+      if (lt.tokens.size() != 1) {
+        p.fail("array format wants one value per line, got " +
+                   std::to_string(lt.tokens.size()) + " tokens",
+               lt.columns[0]);
+      }
+      const double v = p.parse_value(lt, 0, h.field);
+      // Zeros are not stored in the sparse result; the dense writer
+      // regenerates them from the shape.
+      if (v != 0.0) entries.push_back({i, j, v});
+    }
+  }
+  if (p.next_content_line(&lt)) {
+    p.fail("extra value after the dense listing", lt.columns[0]);
+  }
+  return assemble(rows, cols, h.symmetry, entries);
+}
+
+void check_property(const la::CsrMatrix& a, MmSymmetry symmetry) {
+  if (symmetry == MmSymmetry::kGeneral) return;
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("write_matrix_market: " + to_string(symmetry) +
+                                " output needs a square matrix");
+  }
+  const auto& rp = a.row_ptr();
+  const auto& col = a.col_idx();
+  const auto& val = a.values();
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t k = rp[i]; k < rp[i + 1]; ++k) {
+      const index_t j = col[k];
+      const double mirror = symmetry == MmSymmetry::kSymmetric
+                                ? val[k]
+                                : -val[k];
+      if (symmetry == MmSymmetry::kSkewSymmetric && i == j &&
+          val[k] != 0.0) {
+        throw std::invalid_argument(
+            "write_matrix_market: skew-symmetric matrix has nonzero "
+            "diagonal at row " +
+            std::to_string(i + 1));
+      }
+      if (a.at(j, i) != mirror) {
+        throw std::invalid_argument(
+            "write_matrix_market: matrix is not " + to_string(symmetry) +
+            " at entry (" + std::to_string(i + 1) + ", " +
+            std::to_string(j + 1) + ")");
+      }
+    }
+  }
+}
+
+/// The writers emit a single "% ..." line; a newline inside the comment
+/// would smuggle an unprefixed content line into the file.
+void check_comment(const std::string& comment) {
+  if (comment.find('\n') != std::string::npos ||
+      comment.find('\r') != std::string::npos) {
+    throw std::invalid_argument(
+        "write_matrix_market: comment must be a single line");
+  }
+}
+
+std::string value_repr(double v, MmField field) {
+  if (field == MmField::kInteger) {
+    if (v != std::floor(v) || std::abs(v) > 9.007199254740992e15) {
+      throw std::invalid_argument(
+          "write_matrix_market: integer field but value " +
+          util::format_double(v) + " is not an exact integer");
+    }
+    return std::to_string(static_cast<long long>(v));
+  }
+  return util::format_double(v);
+}
+
+}  // namespace
+
+MatrixMarketError::MatrixMarketError(const std::string& name,
+                                     std::size_t line, std::size_t column,
+                                     const std::string& message)
+    : std::runtime_error(name + ":" + std::to_string(line) + ":" +
+                         std::to_string(column) + ": " + message),
+      line_(line),
+      column_(column) {}
+
+std::string to_string(MmFormat f) {
+  return f == MmFormat::kCoordinate ? "coordinate" : "array";
+}
+
+std::string to_string(MmField f) {
+  switch (f) {
+    case MmField::kReal: return "real";
+    case MmField::kInteger: return "integer";
+    default: return "pattern";
+  }
+}
+
+std::string to_string(MmSymmetry s) {
+  switch (s) {
+    case MmSymmetry::kGeneral: return "general";
+    case MmSymmetry::kSymmetric: return "symmetric";
+    default: return "skew-symmetric";
+  }
+}
+
+MmMatrix read_matrix_market(std::istream& in, const std::string& name) {
+  Parser p(in, name);
+  MmMatrix out;
+  out.header = parse_banner(p);
+  LineTokens size_line;
+  if (!p.next_content_line(&size_line)) p.fail("missing size line");
+  const std::size_t want = out.header.format == MmFormat::kCoordinate ? 3 : 2;
+  if (size_line.tokens.size() != want) {
+    p.fail("size line wants " + std::to_string(want) + " integers (" +
+               (want == 3 ? "rows cols nnz" : "rows cols") + "), got " +
+               std::to_string(size_line.tokens.size()),
+           size_line.columns[0]);
+  }
+  const index_t rows = checked_dim(p, size_line, 0, "row count");
+  const index_t cols = checked_dim(p, size_line, 1, "column count");
+  if (out.header.symmetry != MmSymmetry::kGeneral && rows != cols) {
+    p.fail(to_string(out.header.symmetry) + " matrix must be square, got " +
+               std::to_string(rows) + "x" + std::to_string(cols),
+           size_line.columns[0]);
+  }
+  if (out.header.format == MmFormat::kCoordinate) {
+    const index_t nnz = checked_dim(p, size_line, 2, "entry count");
+    // Entries are duplicate-free, so rows*cols bounds them; rejecting
+    // here keeps a tiny malformed file from driving a giant reserve().
+    if (static_cast<long long>(nnz) >
+        static_cast<long long>(rows) * cols) {
+      p.fail("entry count " + std::to_string(nnz) + " exceeds rows*cols = " +
+                 std::to_string(static_cast<long long>(rows) * cols),
+             size_line.columns[2]);
+    }
+    out.matrix = read_coordinate(p, out.header, rows, cols, nnz);
+  } else {
+    out.matrix = read_array(p, out.header, rows, cols);
+  }
+  out.dia_friendly = la::DiaMatrix::profitable(out.matrix);
+  return out;
+}
+
+MmMatrix read_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw MatrixMarketError(path, 0, 0, "cannot open file");
+  return read_matrix_market(in, path);
+}
+
+void write_matrix_market(std::ostream& out, const la::CsrMatrix& a,
+                         const MmWriteOptions& options) {
+  // All validation happens before the first byte is emitted, so a throw
+  // never leaves a half-written file behind.
+  check_property(a, options.symmetry);
+  check_comment(options.comment);
+  if (options.format == MmFormat::kArray &&
+      options.field == MmField::kPattern) {
+    throw std::invalid_argument(
+        "write_matrix_market: array format cannot have a pattern field");
+  }
+  if (options.field == MmField::kInteger) {
+    for (const double v : a.values()) (void)value_repr(v, MmField::kInteger);
+  } else if (options.field == MmField::kReal) {
+    // The reader (correctly) rejects 'nan'/'inf' tokens, so emitting one
+    // would break the write -> read round trip.
+    for (const double v : a.values()) {
+      if (!std::isfinite(v)) {
+        throw std::invalid_argument(
+            "write_matrix_market: matrix contains a non-finite value");
+      }
+    }
+  }
+  out << "%%MatrixMarket matrix " << to_string(options.format) << ' '
+      << to_string(options.field) << ' ' << to_string(options.symmetry)
+      << '\n';
+  if (!options.comment.empty()) out << "% " << options.comment << '\n';
+
+  const auto& rp = a.row_ptr();
+  const auto& col = a.col_idx();
+  const auto& val = a.values();
+  const bool lower_only = options.symmetry != MmSymmetry::kGeneral;
+  const bool strict_lower = options.symmetry == MmSymmetry::kSkewSymmetric;
+
+  if (options.format == MmFormat::kArray) {
+    out << a.rows() << ' ' << a.cols() << '\n';
+    for (index_t j = 0; j < a.cols(); ++j) {
+      index_t i0 = 0;
+      if (options.symmetry == MmSymmetry::kSymmetric) i0 = j;
+      if (strict_lower) i0 = j + 1;
+      for (index_t i = i0; i < a.rows(); ++i) {
+        out << value_repr(a.at(i, j), options.field) << '\n';
+      }
+    }
+    return;
+  }
+
+  index_t stored = 0;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t k = rp[i]; k < rp[i + 1]; ++k) {
+      const index_t j = col[k];
+      if (lower_only && (j > i || (strict_lower && j == i))) continue;
+      ++stored;
+    }
+  }
+  out << a.rows() << ' ' << a.cols() << ' ' << stored << '\n';
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t k = rp[i]; k < rp[i + 1]; ++k) {
+      const index_t j = col[k];
+      if (lower_only && (j > i || (strict_lower && j == i))) continue;
+      out << (i + 1) << ' ' << (j + 1);
+      if (options.field != MmField::kPattern) {
+        out << ' ' << value_repr(val[k], options.field);
+      }
+      out << '\n';
+    }
+  }
+}
+
+void write_matrix_market(const std::string& path, const la::CsrMatrix& a,
+                         const MmWriteOptions& options) {
+  // Format fully before touching the file, so a validation throw cannot
+  // truncate a pre-existing one.
+  std::ostringstream buf;
+  write_matrix_market(buf, a, options);
+  std::ofstream out(path);
+  if (!out) throw MatrixMarketError(path, 0, 0, "cannot open file for write");
+  out << buf.str();
+}
+
+Vec read_vector(std::istream& in, const std::string& name) {
+  const MmMatrix mm = read_matrix_market(in, name);
+  const la::CsrMatrix& a = mm.matrix;
+  if (a.cols() != 1 && a.rows() != 1) {
+    throw MatrixMarketError(name, 0, 0,
+                            "expected a vector (one row or one column), got " +
+                                std::to_string(a.rows()) + "x" +
+                                std::to_string(a.cols()));
+  }
+  const bool column = a.cols() == 1;
+  Vec v(static_cast<std::size_t>(column ? a.rows() : a.cols()), 0.0);
+  const auto& rp = a.row_ptr();
+  const auto& col = a.col_idx();
+  const auto& val = a.values();
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t k = rp[i]; k < rp[i + 1]; ++k) {
+      v[static_cast<std::size_t>(column ? i : col[k])] = val[k];
+    }
+  }
+  return v;
+}
+
+Vec read_vector(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw MatrixMarketError(path, 0, 0, "cannot open file");
+  return read_vector(in, path);
+}
+
+void write_vector(std::ostream& out, const Vec& v,
+                  const std::string& comment) {
+  check_comment(comment);
+  for (const double x : v) {
+    if (!std::isfinite(x)) {
+      throw std::invalid_argument(
+          "write_vector: vector contains a non-finite value");
+    }
+  }
+  out << "%%MatrixMarket matrix array real general\n";
+  if (!comment.empty()) out << "% " << comment << '\n';
+  out << v.size() << " 1\n";
+  for (const double x : v) out << util::format_double(x) << '\n';
+}
+
+void write_vector(const std::string& path, const Vec& v,
+                  const std::string& comment) {
+  std::ostringstream buf;
+  write_vector(buf, v, comment);
+  std::ofstream out(path);
+  if (!out) throw MatrixMarketError(path, 0, 0, "cannot open file for write");
+  out << buf.str();
+}
+
+}  // namespace mstep::io

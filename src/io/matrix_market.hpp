@@ -1,0 +1,107 @@
+// Matrix Market (ANSI .mtx) reader and writer.
+//
+// The standard exchange format for sparse matrices (NIST/matrix-market):
+// a banner line, optional % comments, a size line, then entries.  This
+// module covers the SPD-solver-relevant subset — coordinate and array
+// formats, real/integer/pattern fields, general/symmetric/skew-symmetric
+// storage — converting to and from la::CsrMatrix with symmetric storage
+// expanded on read, plus dense vector (right-hand side) files.
+//
+// Diagnostics are precise: every parse failure throws MatrixMarketError
+// carrying the file name, 1-based line, and 1-based column of the
+// offending token, formatted "file:line:col: message" — a malformed file
+// is a clear error, never a crash or a silently wrong matrix.
+//
+// The writer emits shortest round-trip decimal values (util::format_double)
+// in a canonical layout (row-major entries, one comment line max), so
+// write -> read -> write is byte-identical — asserted by
+// tests/test_matrix_market.cpp and the property the fixture files under
+// tests/data/ are generated with.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "la/csr_matrix.hpp"
+#include "la/vector.hpp"
+
+namespace mstep::io {
+
+/// Parse failure with source position; what() reads "file:line:col: msg"
+/// (col 0 when the error concerns the whole line).
+class MatrixMarketError : public std::runtime_error {
+ public:
+  MatrixMarketError(const std::string& name, std::size_t line,
+                    std::size_t column, const std::string& message);
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+  [[nodiscard]] std::size_t column() const { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+enum class MmFormat { kCoordinate, kArray };
+enum class MmField { kReal, kInteger, kPattern };
+enum class MmSymmetry { kGeneral, kSymmetric, kSkewSymmetric };
+
+[[nodiscard]] std::string to_string(MmFormat f);
+[[nodiscard]] std::string to_string(MmField f);
+[[nodiscard]] std::string to_string(MmSymmetry s);
+
+/// The banner as declared in the file.
+struct MmHeader {
+  MmFormat format = MmFormat::kCoordinate;
+  MmField field = MmField::kReal;
+  MmSymmetry symmetry = MmSymmetry::kGeneral;
+};
+
+/// A read matrix: CSR with symmetric/skew storage fully expanded (the
+/// matrix is the mathematical one, independent of how the file stored
+/// it), the banner it was declared with, and the bandedness probe for
+/// the DIA layout decision.
+struct MmMatrix {
+  la::CsrMatrix matrix;
+  MmHeader header;
+  /// True when la::DiaMatrix::profitable says the diagonal layout pays
+  /// off for this matrix (e.g. banded stencils) — callers can route the
+  /// solve through MatrixFormat::kDia.
+  bool dia_friendly = false;
+};
+
+[[nodiscard]] MmMatrix read_matrix_market(std::istream& in,
+                                          const std::string& name = "<mtx>");
+/// Opens `path`; throws MatrixMarketError (line 0) when unreadable.
+[[nodiscard]] MmMatrix read_matrix_market(const std::string& path);
+
+struct MmWriteOptions {
+  MmFormat format = MmFormat::kCoordinate;
+  MmField field = MmField::kReal;
+  /// kSymmetric / kSkewSymmetric store only the lower triangle; the
+  /// writer verifies the matrix actually has the property (exactly, entry
+  /// by entry) and throws std::invalid_argument otherwise.
+  MmSymmetry symmetry = MmSymmetry::kGeneral;
+  /// Optional single "% ..." comment line after the banner.
+  std::string comment;
+};
+
+void write_matrix_market(std::ostream& out, const la::CsrMatrix& a,
+                         const MmWriteOptions& options = {});
+void write_matrix_market(const std::string& path, const la::CsrMatrix& a,
+                         const MmWriteOptions& options = {});
+
+/// Read a dense vector: an array-format n-by-1 (or 1-by-n) file, or a
+/// coordinate n-by-1 file (absent entries read 0).
+[[nodiscard]] Vec read_vector(std::istream& in,
+                              const std::string& name = "<mtx>");
+[[nodiscard]] Vec read_vector(const std::string& path);
+
+/// Write a dense vector as array-format n-by-1 real.
+void write_vector(std::ostream& out, const Vec& v,
+                  const std::string& comment = {});
+void write_vector(const std::string& path, const Vec& v,
+                  const std::string& comment = {});
+
+}  // namespace mstep::io

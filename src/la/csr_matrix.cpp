@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 #include <numeric>
 #include <set>
 #include <stdexcept>
@@ -171,6 +172,16 @@ index_t CsrMatrix::num_nonzero_diagonals() const {
     }
   }
   return static_cast<index_t>(offsets.size());
+}
+
+index_t CsrMatrix::bandwidth() const {
+  index_t b = 0;
+  for (index_t i = 0; i < rows_; ++i) {
+    for (index_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      if (val_[k] != 0.0) b = std::max(b, std::abs(col_[k] - i));
+    }
+  }
+  return b;
 }
 
 void CooBuilder::add(index_t i, index_t j, double v) {

@@ -66,6 +66,12 @@ class CsrMatrix {
   /// Number of distinct nonzero diagonals (k = j - i values present).
   [[nodiscard]] index_t num_nonzero_diagonals() const;
 
+  /// Bandwidth: max |j - i| over the nonzero entries (0 for diagonal or
+  /// empty matrices).  Reported as structure metadata by the mstep_solve
+  /// driver; the DIA-layout decision itself is DiaMatrix::profitable,
+  /// which counts distinct diagonals instead.
+  [[nodiscard]] index_t bandwidth() const;
+
  private:
   index_t rows_ = 0;
   index_t cols_ = 0;

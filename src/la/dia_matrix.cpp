@@ -36,6 +36,13 @@ DiaMatrix DiaMatrix::from_csr(const CsrMatrix& a) {
   return m;
 }
 
+bool DiaMatrix::profitable(const CsrMatrix& a, double max_fill) {
+  if (a.rows() != a.cols() || a.nnz() == 0) return false;
+  const double stored = static_cast<double>(a.num_nonzero_diagonals()) *
+                        static_cast<double>(a.rows());
+  return stored <= max_fill * static_cast<double>(a.nnz());
+}
+
 void DiaMatrix::multiply(const Vec& x, Vec& y) const {
   assert(static_cast<index_t>(x.size()) == n_);
   y.assign(n_, 0.0);

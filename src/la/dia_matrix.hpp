@@ -29,6 +29,13 @@ class DiaMatrix {
   /// nonzero.  Throws if the matrix is not square.
   static DiaMatrix from_csr(const CsrMatrix& a);
 
+  /// Bandedness probe: true when storing `a` by diagonals costs at most
+  /// `max_fill` times its nonzero count (each diagonal is stored at full
+  /// length n).  Multicolour-permuted stencils pass easily; a matrix with
+  /// scattered structure fails and should stay in CSR.
+  [[nodiscard]] static bool profitable(const CsrMatrix& a,
+                                       double max_fill = 4.0);
+
   [[nodiscard]] index_t rows() const { return n_; }
   [[nodiscard]] index_t num_diagonals() const {
     return static_cast<index_t>(offsets_.size());

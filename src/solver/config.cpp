@@ -1,49 +1,13 @@
 #include "solver/config.hpp"
 
-#include <cmath>
-#include <cstdio>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/spec.hpp"
 
 namespace mstep::solver {
 
 namespace {
-
-std::string format_double(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  // Trim to the shortest representation that parses back exactly.
-  for (int prec = 1; prec < 17; ++prec) {
-    char shorter[40];
-    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
-    if (std::stod(shorter) == v) return shorter;
-  }
-  return buf;
-}
-
-double parse_double(const std::string& text, const std::string& what) {
-  try {
-    std::size_t pos = 0;
-    const double v = std::stod(text, &pos);
-    if (pos != text.size()) throw std::invalid_argument(text);
-    return v;
-  } catch (const std::exception&) {
-    throw std::invalid_argument("SolverConfig: bad " + what + " value '" +
-                                text + "'");
-  }
-}
-
-int parse_int(const std::string& text, const std::string& what) {
-  try {
-    std::size_t pos = 0;
-    const int v = std::stoi(text, &pos);
-    if (pos != text.size()) throw std::invalid_argument(text);
-    return v;
-  } catch (const std::exception&) {
-    throw std::invalid_argument("SolverConfig: bad " + what + " value '" +
-                                text + "'");
-  }
-}
 
 Ordering parse_ordering(const std::string& text) {
   if (text == "natural") return Ordering::kNatural;
@@ -66,41 +30,6 @@ core::StopRule parse_stop(const std::string& text) {
   throw std::invalid_argument(
       "SolverConfig: stop must be 'delta_inf' or 'residual2', got '" + text +
       "'");
-}
-
-/// "ssor:omega=1.2:..." -> name + options.
-void parse_splitting_spec(const std::string& text, std::string* name,
-                          SplitOptions* options) {
-  std::stringstream ss(text);
-  std::string piece;
-  bool first = true;
-  while (std::getline(ss, piece, ':')) {
-    if (first) {
-      *name = piece;
-      first = false;
-      continue;
-    }
-    const auto eq = piece.find('=');
-    if (eq == std::string::npos || eq == 0) {
-      throw std::invalid_argument(
-          "SolverConfig: splitting option must be key=value, got '" + piece +
-          "'");
-    }
-    (*options)[piece.substr(0, eq)] =
-        parse_double(piece.substr(eq + 1), "splitting option " + piece);
-  }
-  if (name->empty()) {
-    throw std::invalid_argument("SolverConfig: empty splitting spec");
-  }
-}
-
-std::string splitting_spec_string(const std::string& name,
-                                  const SplitOptions& options) {
-  std::string out = name;
-  for (const auto& [key, value] : options) {
-    out += ':' + key + '=' + format_double(value);
-  }
-  return out;
 }
 
 }  // namespace
@@ -153,12 +82,12 @@ void SolverConfig::validate() const {
 
 std::string SolverConfig::to_string() const {
   std::string out =
-      "splitting=" + splitting_spec_string(splitting, splitting_options) +
+      "splitting=" + util::spec_string(splitting, splitting_options) +
       ";m=" + std::to_string(steps) + ";params=" + params +
       ";ordering=" + solver::to_string(ordering) +
       ";format=" + solver::to_string(format) +
       ";stop=" + solver::to_string(stop_rule) +
-      ";tol=" + format_double(tolerance) +
+      ";tol=" + util::format_double(tolerance) +
       ";maxit=" + std::to_string(max_iterations);
   if (execution.parallel()) {
     out += ";threads=" + std::to_string(execution.threads);
@@ -166,8 +95,8 @@ std::string SolverConfig::to_string() const {
   if (batch > 0) out += ";batch=" + std::to_string(batch);
   if (record_history) out += ";history=1";
   if (interval) {
-    out += ";interval=" + format_double(interval->lambda_min) + ',' +
-           format_double(interval->lambda_max);
+    out += ";interval=" + util::format_double(interval->lambda_min) + ',' +
+           util::format_double(interval->lambda_max);
   }
   return out;
 }
@@ -188,9 +117,10 @@ SolverConfig SolverConfig::from_string(const std::string& text) {
     if (key == "splitting") {
       cfg.splitting.clear();
       cfg.splitting_options.clear();
-      parse_splitting_spec(value, &cfg.splitting, &cfg.splitting_options);
+      util::parse_spec(value, "SolverConfig: splitting", &cfg.splitting,
+                       &cfg.splitting_options);
     } else if (key == "m") {
-      cfg.steps = parse_int(value, "m");
+      cfg.steps = util::parse_int(value, "SolverConfig: m");
     } else if (key == "params") {
       cfg.params = value;
     } else if (key == "ordering") {
@@ -200,15 +130,15 @@ SolverConfig SolverConfig::from_string(const std::string& text) {
     } else if (key == "stop") {
       cfg.stop_rule = parse_stop(value);
     } else if (key == "tol") {
-      cfg.tolerance = parse_double(value, "tol");
+      cfg.tolerance = util::parse_double(value, "SolverConfig: tol");
     } else if (key == "maxit") {
-      cfg.max_iterations = parse_int(value, "maxit");
+      cfg.max_iterations = util::parse_int(value, "SolverConfig: maxit");
     } else if (key == "threads") {
-      cfg.execution.threads = parse_int(value, "threads");
+      cfg.execution.threads = util::parse_int(value, "SolverConfig: threads");
     } else if (key == "batch") {
-      cfg.batch = parse_int(value, "batch");
+      cfg.batch = util::parse_int(value, "SolverConfig: batch");
     } else if (key == "history") {
-      cfg.record_history = parse_int(value, "history") != 0;
+      cfg.record_history = util::parse_int(value, "SolverConfig: history") != 0;
     } else if (key == "interval") {
       const auto comma = value.find(',');
       if (comma == std::string::npos) {
@@ -216,8 +146,8 @@ SolverConfig SolverConfig::from_string(const std::string& text) {
             "SolverConfig: interval must be 'lo,hi', got '" + value + "'");
       }
       cfg.interval = core::SpectrumInterval{
-          parse_double(value.substr(0, comma), "interval"),
-          parse_double(value.substr(comma + 1), "interval")};
+          util::parse_double(value.substr(0, comma), "SolverConfig: interval"),
+          util::parse_double(value.substr(comma + 1), "SolverConfig: interval")};
     } else {
       throw std::invalid_argument("SolverConfig: unknown field '" + key +
                                   "'");
@@ -233,8 +163,8 @@ SolverConfig SolverConfig::from_cli(const util::Cli& cli,
   if (cli.has("splitting")) {
     cfg.splitting.clear();
     cfg.splitting_options.clear();
-    parse_splitting_spec(cli.get("splitting", ""), &cfg.splitting,
-                         &cfg.splitting_options);
+    util::parse_spec(cli.get("splitting", ""), "SolverConfig: splitting",
+                     &cfg.splitting, &cfg.splitting_options);
   }
   if (cli.has("m")) cfg.steps = cli.get_int("m", cfg.steps);
   if (cli.has("params")) cfg.params = cli.get("params", cfg.params);

@@ -1,0 +1,187 @@
+// Tiny insertion-ordered JSON document builder.
+//
+// Every machine-readable artifact the repo emits — the BENCH_*.json files
+// the CI perf gate parses, the mstep_solve driver report — is built
+// through this one writer instead of hand-concatenated streams, so
+// escaping, number formatting (shortest round-trip, via util::spec), and
+// layout are uniform.  Flat containers (no nested array/object) print on
+// one line; nested ones indent — which reproduces the benches'
+// one-row-per-line array style while keeping driver reports readable.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/spec.hpp"
+
+namespace mstep::util {
+
+class Json {
+ public:
+  /// null
+  Json() = default;
+
+  template <typename T,
+            std::enable_if_t<std::is_arithmetic_v<T>, int> = 0>
+  Json(T v) {  // NOLINT(google-explicit-constructor): literals as values
+    if constexpr (std::is_same_v<T, bool>) {
+      type_ = Type::kBool;
+      bool_ = v;
+    } else if constexpr (std::is_floating_point_v<T>) {
+      type_ = Type::kDouble;
+      double_ = static_cast<double>(v);
+    } else {
+      type_ = Type::kInt;
+      int_ = static_cast<long long>(v);
+    }
+  }
+  Json(std::string v) : type_(Type::kString), string_(std::move(v)) {}
+  Json(const char* v) : Json(std::string(v)) {}
+
+  [[nodiscard]] static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  [[nodiscard]] static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  /// Append to an array; returns *this for chaining.
+  Json& push(Json v) {
+    items_.push_back(std::move(v));
+    return *this;
+  }
+
+  /// Set an object field (insertion-ordered; duplicate keys overwrite in
+  /// place); returns *this for chaining.
+  Json& set(const std::string& key, Json v) {
+    for (auto& [k, old] : fields_) {
+      if (k == key) {
+        old = std::move(v);
+        return *this;
+      }
+    }
+    fields_.emplace_back(key, std::move(v));
+    return *this;
+  }
+
+  void dump(std::ostream& out, int indent = 2) const {
+    write(out, indent, 0);
+    out << '\n';
+  }
+
+  [[nodiscard]] std::string dump_string(int indent = 2) const {
+    std::ostringstream out;
+    dump(out, indent);
+    return out.str();
+  }
+
+  [[nodiscard]] static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+ private:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  /// A container with no container children prints on one line.
+  [[nodiscard]] bool flat() const {
+    for (const auto& v : items_) {
+      if (v.type_ == Type::kArray || v.type_ == Type::kObject) return false;
+    }
+    for (const auto& [k, v] : fields_) {
+      if (v.type_ == Type::kArray || v.type_ == Type::kObject) return false;
+    }
+    return true;
+  }
+
+  void write_scalar(std::ostream& out) const {
+    switch (type_) {
+      case Type::kNull: out << "null"; break;
+      case Type::kBool: out << (bool_ ? "true" : "false"); break;
+      case Type::kInt: out << int_; break;
+      case Type::kDouble:
+        // JSON has no NaN/Inf literals; report them as null.
+        if (std::isfinite(double_)) {
+          out << format_double(double_);
+        } else {
+          out << "null";
+        }
+        break;
+      case Type::kString: out << '"' << escape(string_) << '"'; break;
+      default: break;
+    }
+  }
+
+  void write(std::ostream& out, int indent, int depth) const {
+    if (type_ != Type::kArray && type_ != Type::kObject) {
+      write_scalar(out);
+      return;
+    }
+    const char open = type_ == Type::kArray ? '[' : '{';
+    const char close = type_ == Type::kArray ? ']' : '}';
+    const std::size_t count =
+        type_ == Type::kArray ? items_.size() : fields_.size();
+    if (count == 0) {
+      out << open << close;
+      return;
+    }
+    const bool one_line = flat();
+    const std::string pad(static_cast<std::size_t>(indent) * (depth + 1), ' ');
+    const std::string pad_close(static_cast<std::size_t>(indent) * depth, ' ');
+    out << open;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (one_line) {
+        if (i > 0) out << ", ";
+      } else {
+        out << (i > 0 ? ",\n" : "\n") << pad;
+      }
+      if (type_ == Type::kObject) {
+        out << '"' << escape(fields_[i].first) << "\": ";
+        fields_[i].second.write(out, indent, depth + 1);
+      } else {
+        items_[i].write(out, indent, depth + 1);
+      }
+    }
+    if (!one_line) out << '\n' << pad_close;
+    out << close;
+  }
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  long long int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;                          // array
+  std::vector<std::pair<std::string, Json>> fields_;  // object, ordered
+};
+
+}  // namespace mstep::util

@@ -9,8 +9,7 @@ BENCH_*.json through this script:
         --candidate BENCH_batch.json \
         --key workload \
         --metric speedup_vs_seq_threaded:higher \
-        --require bitwise_match_serial=true --require converged=true \
-        --tolerance 0.25
+        --require bitwise_match_serial=true --require converged=true
 
 Both files hold a JSON array of flat objects.  Rows are matched by the
 --key fields; every baseline row must exist in the candidate.  For each
@@ -19,6 +18,12 @@ the baseline: for "higher"-is-better metrics, candidate >= baseline * (1 -
 tol); for "lower", candidate <= baseline * (1 + tol).  --require NAME=VALUE
 asserts an exact (stringified, case-insensitive) field value — the
 machine-independent hard checks (bitwise match, convergence).
+
+The default tolerance is 0.40 (fail on a >40% regression) — THE perf-gate
+threshold, stated in bench/baselines/README.md; pass --tolerance to
+override for ad-hoc comparisons.  Wall-clock ratios on shared CI runners
+are noisy, hence the wide default; iteration counts are exact and do the
+fine-grained gating regardless.
 
 Only scale-free metrics (speedups, iteration counts) belong in the gate:
 absolute wall seconds differ across runner generations.  To refresh the
@@ -34,6 +39,12 @@ import json
 import sys
 
 
+def die(message):
+    """Usage or I/O error: print and exit 2 (regressions exit 1)."""
+    print(message, file=sys.stderr)
+    sys.exit(2)
+
+
 def parse_args(argv):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", required=True)
@@ -46,8 +57,8 @@ def parse_args(argv):
     ap.add_argument("--require", action="append", default=[],
                     metavar="NAME=VALUE",
                     help="exact field check on candidate rows (repeatable)")
-    ap.add_argument("--tolerance", type=float, default=0.25,
-                    help="allowed relative regression (default 0.25 = 25%%)")
+    ap.add_argument("--tolerance", type=float, default=0.40,
+                    help="allowed relative regression (default 0.40 = 40%%)")
     return ap.parse_args(argv)
 
 
@@ -56,9 +67,9 @@ def load_rows(path):
         with open(path) as f:
             rows = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        sys.exit(f"check_bench: cannot read {path}: {e}")
+        die(f"check_bench: cannot read {path}: {e}")
     if not isinstance(rows, list) or not all(isinstance(r, dict) for r in rows):
-        sys.exit(f"check_bench: {path} is not a JSON array of objects")
+        die(f"check_bench: {path} is not a JSON array of objects")
     return rows
 
 
@@ -66,7 +77,7 @@ def row_key(row, fields):
     try:
         return tuple((f, row[f]) for f in fields)
     except KeyError as e:
-        sys.exit(f"check_bench: row {row} lacks key field {e}")
+        die(f"check_bench: row {row} lacks key field {e}")
 
 
 def main(argv):
@@ -76,13 +87,13 @@ def main(argv):
     for spec in args.metric:
         name, _, direction = spec.partition(":")
         if direction not in ("higher", "lower"):
-            sys.exit(f"check_bench: metric '{spec}' needs :higher or :lower")
+            die(f"check_bench: metric '{spec}' needs :higher or :lower")
         metrics.append((name, direction))
     requires = []
     for spec in args.require:
         name, eq, value = spec.partition("=")
         if not eq:
-            sys.exit(f"check_bench: require '{spec}' needs NAME=VALUE")
+            die(f"check_bench: require '{spec}' needs NAME=VALUE")
         requires.append((name, value))
 
     baseline = {row_key(r, key_fields): r for r in load_rows(args.baseline)}
@@ -103,7 +114,7 @@ def main(argv):
                 failures.append(f"[{label}] {name} = {got}, required {value}")
         for name, direction in metrics:
             if name not in base_row:
-                sys.exit(f"check_bench: baseline [{label}] lacks '{name}'")
+                die(f"check_bench: baseline [{label}] lacks '{name}'")
             if name not in cand_row:
                 failures.append(f"[{label}] candidate lacks '{name}'")
                 continue

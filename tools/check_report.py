@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Validate an mstep_solve JSON report against the driver schema.
+
+CI's driver-smoke steps run mstep_solve on a catalog problem and on a
+Matrix Market fixture, then feed the --out report through this script
+(the check_bench.py-style schema check for single reports):
+
+    tools/check_report.py report.json --require converged=true
+
+The report must be a JSON object containing every field report_json()
+emits, with the right JSON types; --require NAME=VALUE additionally
+asserts an exact (stringified, case-insensitive) field value.
+
+Exit codes: 0 ok, 1 schema/requirement failure, 2 usage or I/O error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def die(message):
+    """Usage or I/O error: print and exit 2 (schema failures exit 1)."""
+    print(message, file=sys.stderr)
+    sys.exit(2)
+
+
+# Field -> accepted JSON types.  None means nullable (e.g. a failed RHS
+# has no iteration count; error_vs_exact is null when no exact solution
+# is known).
+SCHEMA = {
+    "tool": (str,),
+    "source": (str,),
+    "problem": (str,),
+    "description": (str,),
+    "n": (int,),
+    "nnz": (int,),
+    "bandwidth": (int,),
+    "nonzero_diagonals": (int,),
+    "dia_friendly": (bool,),
+    "used_classes": (bool,),
+    "config": (str,),
+    "nrhs": (int,),
+    "concurrency": (int,),
+    "setup_seconds": (int, float),
+    "wall_seconds": (int, float),
+    "solves_per_second": (int, float, type(None)),
+    "converged": (bool,),
+    "iterations": (list,),
+    "final_delta_inf": (list,),
+    "rhs_errors": (list,),
+    "error_vs_exact": (int, float, type(None)),
+}
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("report")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="NAME=VALUE",
+                    help="exact field check (repeatable)")
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.report) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"check_report: cannot read {args.report}: {e}")
+    if not isinstance(report, dict):
+        die(f"check_report: {args.report} is not a JSON object")
+
+    failures = []
+    for name, types in SCHEMA.items():
+        if name not in report:
+            failures.append(f"missing field '{name}'")
+        # bool is an int subclass in Python; require exact type matches.
+        elif not any(type(report[name]) is t for t in types):
+            failures.append(
+                f"field '{name}' has type {type(report[name]).__name__}, "
+                f"wanted one of {[t.__name__ for t in types]}")
+    for name in ("iterations", "final_delta_inf", "rhs_errors"):
+        if isinstance(report.get(name), list):
+            if len(report[name]) != report.get("nrhs"):
+                failures.append(
+                    f"'{name}' has {len(report[name])} entries, nrhs = "
+                    f"{report.get('nrhs')}")
+
+    for spec in args.require:
+        name, eq, value = spec.partition("=")
+        if not eq:
+            die(f"check_report: require '{spec}' needs NAME=VALUE")
+        got = str(report.get(name)).lower()
+        if got != value.lower():
+            failures.append(f"{name} = {got}, required {value}")
+
+    print(f"check_report: {len(SCHEMA)} schema fields, "
+          f"{len(args.require)} requirement(s), {len(failures)} failure(s) "
+          f"({args.report})")
+    for f in failures:
+        print(f"  FAIL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
