@@ -1,0 +1,272 @@
+#include "io/byte_source.hpp"
+
+#include <cstring>
+#include <istream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "io/matrix_market.hpp"
+
+#ifdef MSTEP_HAS_ZLIB
+#include <zlib.h>
+#endif
+
+namespace mstep::io {
+
+namespace {
+
+[[noreturn]] void fail_source(const std::string& name,
+                              const std::string& message) {
+  throw MatrixMarketError(name, 0, 0, message);
+}
+
+}  // namespace
+
+// ---- FileByteSource ---------------------------------------------------------
+
+FileByteSource::FileByteSource(std::string path) : path_(std::move(path)) {
+  file_ = std::fopen(path_.c_str(), "rb");
+  if (!file_) fail_source(path_, "cannot open file");
+}
+
+FileByteSource::~FileByteSource() {
+  if (file_) std::fclose(file_);
+}
+
+std::size_t FileByteSource::read(char* buf, std::size_t n) {
+  const std::size_t got = std::fread(buf, 1, n, file_);
+  if (got < n && std::ferror(file_)) {
+    fail_source(path_, "read error");
+  }
+  return got;
+}
+
+void FileByteSource::rewind() {
+  if (std::fseek(file_, 0, SEEK_SET) != 0) {
+    fail_source(path_, "cannot rewind file for the second reader pass");
+  }
+}
+
+// ---- BufferByteSource -------------------------------------------------------
+
+std::size_t BufferByteSource::read(char* buf, std::size_t n) {
+  const std::size_t avail = data_.size() - pos_;
+  const std::size_t take = n < avail ? n : avail;
+  std::memcpy(buf, data_.data() + pos_, take);
+  pos_ += take;
+  return take;
+}
+
+// ---- IstreamByteSource ------------------------------------------------------
+
+IstreamByteSource::IstreamByteSource(std::istream& in, std::string name)
+    : in_(&in), name_(std::move(name)), start_(in.tellg()) {
+  // tellg() fails (-1) on non-seekable streams; keep the stream usable
+  // for pass 1 and report the problem only if a rewind is needed.
+  if (start_ == std::streampos(-1)) in.clear();
+}
+
+std::size_t IstreamByteSource::read(char* buf, std::size_t n) {
+  in_->read(buf, static_cast<std::streamsize>(n));
+  if (in_->bad()) fail_source(name_, "read error on input stream");
+  return static_cast<std::size_t>(in_->gcount());
+}
+
+void IstreamByteSource::rewind() {
+  in_->clear();
+  if (start_ != std::streampos(-1)) in_->seekg(start_);
+  if (start_ == std::streampos(-1) || in_->fail()) {
+    fail_source(name_,
+                "input stream is not rewindable (the two-pass reader needs "
+                "a seekable stream; read the bytes into memory first)");
+  }
+}
+
+// ---- gzip -------------------------------------------------------------------
+
+bool looks_gzip(const char* data, std::size_t size) {
+  return size >= 2 && static_cast<unsigned char>(data[0]) == 0x1f &&
+         static_cast<unsigned char>(data[1]) == 0x8b;
+}
+
+#ifdef MSTEP_HAS_ZLIB
+
+namespace {
+
+/// zlib-inflating wrapper: pulls compressed bytes from `inner`, hands
+/// decompressed bytes to the reader.  windowBits 15+32 auto-detects gzip
+/// vs raw zlib framing; rewind re-reads `inner` from byte 0 with a reset
+/// inflate state (a gzip member is not seekable, so pass 2 re-inflates —
+/// the price of O(nnz) memory on compressed input).
+class GzipByteSource final : public ByteSource {
+ public:
+  explicit GzipByteSource(std::unique_ptr<ByteSource> inner)
+      : inner_(std::move(inner)), in_buf_(1 << 16) {
+    std::memset(&strm_, 0, sizeof(strm_));
+    if (inflateInit2(&strm_, 15 + 32) != Z_OK) {
+      fail_source(inner_->name(), "cannot initialize zlib inflate");
+    }
+  }
+
+  ~GzipByteSource() override { inflateEnd(&strm_); }
+  GzipByteSource(const GzipByteSource&) = delete;
+  GzipByteSource& operator=(const GzipByteSource&) = delete;
+
+  std::size_t read(char* buf, std::size_t n) override {
+    if (done_) return 0;
+    strm_.next_out = reinterpret_cast<Bytef*>(buf);
+    strm_.avail_out = static_cast<uInt>(n);
+    while (strm_.avail_out > 0) {
+      if (strm_.avail_in == 0 && !inner_eof_) {
+        const std::size_t got = inner_->read(in_buf_.data(), in_buf_.size());
+        compressed_offset_ += got;
+        strm_.next_in = reinterpret_cast<Bytef*>(in_buf_.data());
+        strm_.avail_in = static_cast<uInt>(got);
+        if (got == 0) inner_eof_ = true;
+      }
+      if (strm_.avail_in == 0 && inner_eof_) {
+        if (at_member_boundary_) {  // clean end of the last member
+          done_ = true;
+          break;
+        }
+        // Compressed data ran out mid-member: the file was cut short (an
+        // interrupted download, a partial copy).
+        fail_source(inner_->name(),
+                    "truncated gzip stream: compressed data ends before "
+                    "the end of the member");
+      }
+      const int rc = inflate(&strm_, Z_NO_FLUSH);
+      if (rc == Z_STREAM_END) {
+        // RFC 1952 allows concatenated members ("cat a.gz b.gz", bgzip);
+        // reset and keep inflating — anything following that is NOT a
+        // gzip member then fails the next header check as corrupt.
+        at_member_boundary_ = true;
+        if (inflateReset(&strm_) != Z_OK) {
+          fail_source(inner_->name(), "cannot reset zlib inflate");
+        }
+        continue;
+      }
+      if (rc == Z_DATA_ERROR || rc == Z_NEED_DICT || rc == Z_MEM_ERROR ||
+          rc == Z_STREAM_ERROR) {
+        fail_source(inner_->name(),
+                    std::string("corrupt gzip stream: ") +
+                        (strm_.msg ? strm_.msg : "inflate failed") +
+                        " (near compressed byte " +
+                        std::to_string(compressed_offset_ -
+                                       strm_.avail_in) +
+                        ")");
+      }
+      // Once the inflater consumes any byte of the next member's header
+      // we are mid-member again (total_in resets at each inflateReset).
+      at_member_boundary_ = at_member_boundary_ && strm_.total_in == 0;
+    }
+    return n - strm_.avail_out;
+  }
+
+  void rewind() override {
+    inner_->rewind();
+    if (inflateReset2(&strm_, 15 + 32) != Z_OK) {
+      fail_source(inner_->name(), "cannot reset zlib inflate");
+    }
+    strm_.avail_in = 0;
+    strm_.next_in = nullptr;
+    inner_eof_ = false;
+    done_ = false;
+    at_member_boundary_ = false;
+    compressed_offset_ = 0;
+  }
+
+  [[nodiscard]] const std::string& name() const override {
+    return inner_->name();
+  }
+
+ private:
+  std::unique_ptr<ByteSource> inner_;
+  std::vector<char> in_buf_;
+  z_stream strm_;
+  std::size_t compressed_offset_ = 0;  // bytes pulled from inner_
+  bool inner_eof_ = false;
+  bool done_ = false;  // clean end of the last member reached
+  /// True exactly between a member's Z_STREAM_END and the first consumed
+  /// byte of the next member — end of input here is a clean EOF, end of
+  /// input anywhere else is a truncated stream.
+  bool at_member_boundary_ = false;
+};
+
+}  // namespace
+
+bool gzip_supported() { return true; }
+
+std::unique_ptr<ByteSource> make_gzip_source(
+    std::unique_ptr<ByteSource> inner) {
+  return std::make_unique<GzipByteSource>(std::move(inner));
+}
+
+std::string gzip_compress(const std::string& bytes) {
+  z_stream strm;
+  std::memset(&strm, 0, sizeof(strm));
+  // 15+16 = gzip framing; fixed level/strategy so compressed output is
+  // deterministic across runs.
+  if (deflateInit2(&strm, Z_DEFAULT_COMPRESSION, Z_DEFLATED, 15 + 16, 8,
+                   Z_DEFAULT_STRATEGY) != Z_OK) {
+    throw std::runtime_error("gzip_compress: cannot initialize deflate");
+  }
+  std::string out;
+  std::vector<char> buf(1 << 16);
+  // Feed the input in uInt-sized chunks: a single avail_in assignment
+  // would silently truncate inputs past 4 GiB.
+  std::size_t fed = 0;
+  int rc = Z_OK;
+  do {
+    if (strm.avail_in == 0 && fed < bytes.size()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(bytes.size() - fed, 1u << 30);
+      strm.next_in = reinterpret_cast<Bytef*>(
+          const_cast<char*>(bytes.data() + fed));
+      strm.avail_in = static_cast<uInt>(chunk);
+      fed += chunk;
+    }
+    strm.next_out = reinterpret_cast<Bytef*>(buf.data());
+    strm.avail_out = static_cast<uInt>(buf.size());
+    rc = deflate(&strm, fed == bytes.size() ? Z_FINISH : Z_NO_FLUSH);
+    if (rc == Z_STREAM_ERROR) {
+      deflateEnd(&strm);
+      throw std::runtime_error("gzip_compress: deflate failed");
+    }
+    out.append(buf.data(), buf.size() - strm.avail_out);
+  } while (rc != Z_STREAM_END);
+  deflateEnd(&strm);
+  return out;
+}
+
+#else  // !MSTEP_HAS_ZLIB
+
+bool gzip_supported() { return false; }
+
+std::unique_ptr<ByteSource> make_gzip_source(
+    std::unique_ptr<ByteSource> inner) {
+  fail_source(inner->name(),
+              "gzip input needs zlib, which this build was compiled "
+              "without; decompress the file first");
+}
+
+std::string gzip_compress(const std::string&) {
+  throw std::runtime_error(
+      "gzip_compress: this build was compiled without zlib");
+}
+
+#endif  // MSTEP_HAS_ZLIB
+
+std::unique_ptr<ByteSource> open_byte_source(const std::string& path) {
+  auto file = std::make_unique<FileByteSource>(path);
+  char magic[2];
+  const std::size_t got = file->read(magic, sizeof(magic));
+  file->rewind();
+  if (looks_gzip(magic, got)) {
+    return make_gzip_source(std::move(file));
+  }
+  return file;
+}
+
+}  // namespace mstep::io

@@ -1,0 +1,125 @@
+// Pluggable byte sources for the streaming Matrix Market reader.
+//
+// The reader is a pull parser over a ByteSource, so "where the bytes come
+// from" — a file, an in-memory buffer, a caller's istream, or a gzip
+// stream — is one small interface instead of an istream hierarchy.  The
+// two-pass reading scheme (count, then scatter) needs exactly two
+// operations: sequential read and rewind-to-start.
+//
+// Gzip (.mtx.gz) input is auto-detected from the 0x1f 0x8b magic bytes by
+// open_byte_source(), so SuiteSparse-collection downloads work without
+// decompressing first.  Decompression is zlib-backed and compiled in only
+// when zlib is available (gzip_supported() reports the build); without it
+// a gzip file is a clear diagnostic, never a parse of compressed garbage.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <ios>
+#include <memory>
+#include <string>
+
+namespace mstep::io {
+
+/// A rewindable stream of raw bytes feeding MmTokenStream.
+///
+/// Implementations throw MatrixMarketError (line 0) on I/O or
+/// decompression failure, carrying the source name — a gzip error surfaces
+/// as "file.mtx.gz:0:0: corrupt gzip stream ...", same shape as every
+/// other reader diagnostic.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+
+  /// Read up to `n` bytes into `buf`; returns the number read, 0 at end
+  /// of stream.
+  virtual std::size_t read(char* buf, std::size_t n) = 0;
+
+  /// Restart from byte 0 — pass 2 of the two-pass reader.
+  virtual void rewind() = 0;
+
+  /// The diagnostic name ("file:line:col" prefix) of this source.
+  [[nodiscard]] virtual const std::string& name() const = 0;
+};
+
+/// Reads a file with plain buffered stdio; rewind is a seek.
+class FileByteSource final : public ByteSource {
+ public:
+  /// Throws MatrixMarketError (line 0) when the file cannot be opened.
+  explicit FileByteSource(std::string path);
+  ~FileByteSource() override;
+  FileByteSource(const FileByteSource&) = delete;
+  FileByteSource& operator=(const FileByteSource&) = delete;
+
+  std::size_t read(char* buf, std::size_t n) override;
+  void rewind() override;
+  [[nodiscard]] const std::string& name() const override { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Reads an owned in-memory buffer; rewind resets the cursor.  Used by
+/// the tests and as the staging form for non-seekable inputs.
+class BufferByteSource final : public ByteSource {
+ public:
+  BufferByteSource(std::string data, std::string name)
+      : data_(std::move(data)), name_(std::move(name)) {}
+
+  std::size_t read(char* buf, std::size_t n) override;
+  void rewind() override { pos_ = 0; }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+ private:
+  std::string data_;
+  std::string name_;
+  std::size_t pos_ = 0;
+};
+
+/// Adapts a caller-owned std::istream; rewind seeks back to the position
+/// the stream had at construction (NOT byte 0 — reading may start
+/// mid-stream, matching the historical istream overload semantics).
+/// Throws on rewind when the stream cannot seek (pipe-like streams):
+/// buffer such input through BufferByteSource instead.
+class IstreamByteSource final : public ByteSource {
+ public:
+  IstreamByteSource(std::istream& in, std::string name);
+
+  std::size_t read(char* buf, std::size_t n) override;
+  void rewind() override;
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+ private:
+  std::istream* in_;
+  std::string name_;
+  std::streampos start_;  // position at construction; -1 = not seekable
+};
+
+/// True when gzip support (zlib) was compiled into this build.
+[[nodiscard]] bool gzip_supported();
+
+/// True when `data` starts with the gzip magic bytes 0x1f 0x8b.
+[[nodiscard]] bool looks_gzip(const char* data, std::size_t size);
+
+/// Wrap `inner` in a zlib-inflating source (gzip or zlib framing).
+/// Decompression errors are positioned MatrixMarketError diagnostics:
+/// "truncated gzip stream" on premature end of compressed data, "corrupt
+/// gzip stream" (with the zlib detail and compressed byte offset) on
+/// mid-stream corruption or a checksum mismatch.  Throws immediately when
+/// the build has no zlib (see gzip_supported()).
+[[nodiscard]] std::unique_ptr<ByteSource> make_gzip_source(
+    std::unique_ptr<ByteSource> inner);
+
+/// gzip-compress `bytes` (for writing .mtx.gz); throws std::runtime_error
+/// when the build has no zlib.
+[[nodiscard]] std::string gzip_compress(const std::string& bytes);
+
+/// Open `path` for reading, sniffing the first bytes: a gzip file is
+/// transparently wrapped in the inflating source, anything else reads
+/// as-is.  This is the entry point read_matrix_market(path) and
+/// read_vector(path) route through, so ".mtx.gz just works".
+[[nodiscard]] std::unique_ptr<ByteSource> open_byte_source(
+    const std::string& path);
+
+}  // namespace mstep::io

@@ -8,11 +8,13 @@
 #include <fstream>
 #include <istream>
 #include <limits>
-#include <numeric>
 #include <ostream>
 #include <sstream>
 #include <utility>
+#include <vector>
 
+#include "io/byte_source.hpp"
+#include "io/token_stream.hpp"
 #include "la/dia_matrix.hpp"
 #include "util/spec.hpp"
 
@@ -25,152 +27,95 @@ std::string lower(std::string s) {
   return s;
 }
 
-/// Splits one line into whitespace-separated tokens, remembering the
-/// 1-based column each token starts at — the source of the ":col" part
-/// of every diagnostic.
-struct LineTokens {
-  std::vector<std::string> tokens;
-  std::vector<std::size_t> columns;  // 1-based start column per token
+// ---- token parsing ----------------------------------------------------------
 
-  LineTokens() = default;
-  explicit LineTokens(const std::string& line) {
-    std::size_t i = 0;
-    while (i < line.size()) {
-      while (i < line.size() &&
-             std::isspace(static_cast<unsigned char>(line[i]))) {
-        ++i;
-      }
-      if (i >= line.size()) break;
-      const std::size_t start = i;
-      while (i < line.size() &&
-             !std::isspace(static_cast<unsigned char>(line[i]))) {
-        ++i;
-      }
-      tokens.push_back(line.substr(start, i - start));
-      columns.push_back(start + 1);
-    }
-  }
-};
-
-/// Reads lines, tracks the position, and throws positioned diagnostics.
-class Parser {
- public:
-  Parser(std::istream& in, std::string name)
-      : in_(in), name_(std::move(name)) {}
-
-  [[noreturn]] void fail(const std::string& message,
-                         std::size_t column = 0) const {
-    throw MatrixMarketError(name_, line_number_, column, message);
-  }
-
-  /// Next line that holds tokens (comments and blank lines skipped);
-  /// false at end of file.
-  bool next_content_line(LineTokens* out) {
-    std::string line;
-    while (std::getline(in_, line)) {
-      ++line_number_;
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (!line.empty() && line[0] == '%') continue;  // comment
-      LineTokens lt(line);
-      if (lt.tokens.empty()) continue;  // blank
-      *out = std::move(lt);
-      return true;
-    }
-    ++line_number_;  // diagnostics for "unexpected end of file" point past it
-    return false;
-  }
-
-  /// Raw next line (no comment skipping) — only for the banner, which
-  /// must be the very first line.
-  bool next_raw_line(std::string* out) {
-    if (!std::getline(in_, *out)) {
-      ++line_number_;  // "missing banner" points at line 1
-      return false;
-    }
-    ++line_number_;
-    if (!out->empty() && out->back() == '\r') out->pop_back();
-    return true;
-  }
-
-  long long parse_index(const LineTokens& lt, std::size_t t,
-                        const char* what) const {
-    const std::string& tok = lt.tokens[t];
-    try {
-      std::size_t pos = 0;
-      const long long v = std::stoll(tok, &pos);
-      if (pos != tok.size()) throw std::invalid_argument(tok);
-      return v;
-    } catch (const std::out_of_range&) {
-      fail(std::string("integer ") + what + " '" + tok + "' overflows",
-           lt.columns[t]);
-    } catch (const std::exception&) {
-      fail(std::string("expected integer ") + what + ", got '" + tok + "'",
-           lt.columns[t]);
-    }
-  }
-
-  double parse_value(const LineTokens& lt, std::size_t t, MmField field) const {
-    const std::string& tok = lt.tokens[t];
-    if (field == MmField::kInteger) {
-      return static_cast<double>(parse_index(lt, t, "value"));
-    }
-    // strtod, not std::stod: a subnormal like 1e-320 is a valid Matrix
-    // Market value but makes stod throw out_of_range (ERANGE underflow).
-    // The Matrix Market grammar is plain decimal floats: no 'inf'/'nan'
-    // tokens (which strtod would happily parse into a silently broken
-    // matrix) and no hex floats.
-    errno = 0;
-    char* end = nullptr;
-    const double v = std::strtod(tok.c_str(), &end);
-    if (end != tok.c_str() + tok.size() || end == tok.c_str() ||
-        tok.find_first_of("xX") != std::string::npos) {
-      fail("expected numeric value, got '" + tok + "'", lt.columns[t]);
-    }
-    if (errno == ERANGE && std::isinf(v)) {
-      fail("value '" + tok + "' overflows the double range", lt.columns[t]);
-    }
-    if (!std::isfinite(v)) {
-      fail("value '" + tok + "' is not finite", lt.columns[t]);
-    }
+long long parse_index(const MmTokenStream& ts, std::size_t t,
+                      const char* what) {
+  const MmTokenStream::Token& tok = ts.tokens()[t];
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(tok.text, &pos);
+    if (pos != tok.text.size()) throw std::invalid_argument(tok.text);
     return v;
+  } catch (const std::out_of_range&) {
+    ts.fail(std::string("integer ") + what + " '" + tok.text + "' overflows",
+            tok.column);
+  } catch (const std::exception&) {
+    ts.fail(std::string("expected integer ") + what + ", got '" + tok.text +
+                "'",
+            tok.column);
   }
+}
 
-  [[nodiscard]] std::size_t line_number() const { return line_number_; }
+double parse_value(const MmTokenStream& ts, std::size_t t, MmField field) {
+  const MmTokenStream::Token& tok = ts.tokens()[t];
+  if (field == MmField::kInteger) {
+    return static_cast<double>(parse_index(ts, t, "value"));
+  }
+  // strtod, not std::stod: a subnormal like 1e-320 is a valid Matrix
+  // Market value but makes stod throw out_of_range (ERANGE underflow).
+  // The Matrix Market grammar is plain decimal floats: no 'inf'/'nan'
+  // tokens (which strtod would happily parse into a silently broken
+  // matrix) and no hex floats.
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(tok.text.c_str(), &end);
+  if (end != tok.text.c_str() + tok.text.size() || end == tok.text.c_str() ||
+      tok.text.find_first_of("xX") != std::string::npos) {
+    ts.fail("expected numeric value, got '" + tok.text + "'", tok.column);
+  }
+  if (errno == ERANGE && std::isinf(v)) {
+    ts.fail("value '" + tok.text + "' overflows the double range",
+            tok.column);
+  }
+  if (!std::isfinite(v)) {
+    ts.fail("value '" + tok.text + "' is not finite", tok.column);
+  }
+  return v;
+}
 
-  [[nodiscard]] const std::string& name() const { return name_; }
+index_t checked_dim(const MmTokenStream& ts, std::size_t t,
+                    const char* what) {
+  const long long v = parse_index(ts, t, what);
+  if (v < 0 || v > std::numeric_limits<index_t>::max()) {
+    ts.fail(std::string(what) + " " + ts.tokens()[t].text +
+                " does not fit the 32-bit index type",
+            ts.tokens()[t].column);
+  }
+  return static_cast<index_t>(v);
+}
 
- private:
-  std::istream& in_;
-  std::string name_;
-  std::size_t line_number_ = 0;
-};
+// ---- header and size line ---------------------------------------------------
 
-MmHeader parse_banner(Parser& p) {
+MmHeader parse_banner(MmTokenStream& ts) {
   std::string line;
-  if (!p.next_raw_line(&line)) p.fail("empty file: missing banner");
-  const LineTokens lt(line);
-  if (lt.tokens.empty() || lower(lt.tokens[0]) != "%%matrixmarket") {
-    p.fail("banner must start with '%%MatrixMarket'", 1);
+  if (!ts.next_raw_line(&line)) ts.fail("empty file: missing banner");
+  // The banner is the one line read raw (comment skipping would eat it),
+  // but it tokenizes by the same rule as every other line.
+  std::vector<MmTokenStream::Token> tokens;
+  MmTokenStream::tokenize(line, &tokens);
+  if (tokens.empty() || lower(tokens[0].text) != "%%matrixmarket") {
+    ts.fail("banner must start with '%%MatrixMarket'", 1);
   }
-  if (lt.tokens.size() != 5) {
-    p.fail("banner wants '%%MatrixMarket matrix <format> <field> <symmetry>'");
+  if (tokens.size() != 5) {
+    ts.fail("banner wants '%%MatrixMarket matrix <format> <field> <symmetry>'");
   }
-  if (lower(lt.tokens[1]) != "matrix") {
-    p.fail("unsupported object '" + lt.tokens[1] + "' (only 'matrix')",
-           lt.columns[1]);
+  if (lower(tokens[1].text) != "matrix") {
+    ts.fail("unsupported object '" + tokens[1].text + "' (only 'matrix')",
+            tokens[1].column);
   }
   MmHeader h;
-  const std::string format = lower(lt.tokens[2]);
+  const std::string format = lower(tokens[2].text);
   if (format == "coordinate") {
     h.format = MmFormat::kCoordinate;
   } else if (format == "array") {
     h.format = MmFormat::kArray;
   } else {
-    p.fail("unknown format '" + lt.tokens[2] +
-               "' (coordinate | array)",
-           lt.columns[2]);
+    ts.fail("unknown format '" + tokens[2].text +
+                "' (coordinate | array)",
+            tokens[2].column);
   }
-  const std::string field = lower(lt.tokens[3]);
+  const std::string field = lower(tokens[3].text);
   if (field == "real") {
     h.field = MmField::kReal;
   } else if (field == "integer") {
@@ -178,13 +123,13 @@ MmHeader parse_banner(Parser& p) {
   } else if (field == "pattern") {
     h.field = MmField::kPattern;
   } else if (field == "complex") {
-    p.fail("complex matrices are not supported", lt.columns[3]);
+    ts.fail("complex matrices are not supported", tokens[3].column);
   } else {
-    p.fail("unknown field '" + lt.tokens[3] +
-               "' (real | integer | pattern)",
-           lt.columns[3]);
+    ts.fail("unknown field '" + tokens[3].text +
+                "' (real | integer | pattern)",
+            tokens[3].column);
   }
-  const std::string symmetry = lower(lt.tokens[4]);
+  const std::string symmetry = lower(tokens[4].text);
   if (symmetry == "general") {
     h.symmetry = MmSymmetry::kGeneral;
   } else if (symmetry == "symmetric") {
@@ -192,159 +137,293 @@ MmHeader parse_banner(Parser& p) {
   } else if (symmetry == "skew-symmetric") {
     h.symmetry = MmSymmetry::kSkewSymmetric;
   } else if (symmetry == "hermitian") {
-    p.fail("hermitian matrices are not supported", lt.columns[4]);
+    ts.fail("hermitian matrices are not supported", tokens[4].column);
   } else {
-    p.fail("unknown symmetry '" + lt.tokens[4] +
-               "' (general | symmetric | skew-symmetric)",
-           lt.columns[4]);
+    ts.fail("unknown symmetry '" + tokens[4].text +
+                "' (general | symmetric | skew-symmetric)",
+            tokens[4].column);
   }
   if (h.format == MmFormat::kArray && h.field == MmField::kPattern) {
-    p.fail("array format cannot have a pattern field", lt.columns[3]);
+    ts.fail("array format cannot have a pattern field", tokens[3].column);
   }
   return h;
 }
 
-index_t checked_dim(Parser& p, const LineTokens& lt, std::size_t t,
-                    const char* what) {
-  const long long v = p.parse_index(lt, t, what);
-  if (v < 0 || v > std::numeric_limits<index_t>::max()) {
-    p.fail(std::string(what) + " " + lt.tokens[t] +
-               " does not fit the 32-bit index type",
-           lt.columns[t]);
-  }
-  return static_cast<index_t>(v);
-}
-
-/// One stored coordinate entry of the file, before symmetry expansion.
-struct StoredEntry {
-  index_t i, j;
-  double v;
-  std::size_t line = 0;  // source line, for the duplicate diagnostic
+struct MmSize {
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t nnz = 0;  // declared entries; unused for array format
 };
 
-/// Duplicate coordinates are invalid (CooBuilder would silently sum
-/// them).  Sort-and-scan instead of a std::set: no per-entry node
-/// allocations on the read path.
-void check_duplicates(const Parser& p, const std::vector<StoredEntry>& entries) {
-  std::vector<std::size_t> order(entries.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return entries[a].i != entries[b].i ? entries[a].i < entries[b].i
-                                        : entries[a].j < entries[b].j;
-  });
-  for (std::size_t k = 1; k < order.size(); ++k) {
-    const StoredEntry& prev = entries[order[k - 1]];
-    const StoredEntry& cur = entries[order[k]];
-    if (prev.i == cur.i && prev.j == cur.j) {
-      throw MatrixMarketError(
-          p.name(), std::max(prev.line, cur.line), 1,
-          "duplicate entry (" + std::to_string(cur.i + 1) + ", " +
-              std::to_string(cur.j + 1) + ")");
+MmSize parse_size_line(MmTokenStream& ts, const MmHeader& h) {
+  if (!ts.next_content_line()) ts.fail("missing size line");
+  const std::size_t want = h.format == MmFormat::kCoordinate ? 3 : 2;
+  if (ts.tokens().size() != want) {
+    ts.fail("size line wants " + std::to_string(want) + " integers (" +
+                (want == 3 ? "rows cols nnz" : "rows cols") + "), got " +
+                std::to_string(ts.tokens().size()),
+            ts.tokens()[0].column);
+  }
+  MmSize s;
+  s.rows = checked_dim(ts, 0, "row count");
+  s.cols = checked_dim(ts, 1, "column count");
+  if (h.symmetry != MmSymmetry::kGeneral && s.rows != s.cols) {
+    ts.fail(to_string(h.symmetry) + " matrix must be square, got " +
+                std::to_string(s.rows) + "x" + std::to_string(s.cols),
+            ts.tokens()[0].column);
+  }
+  if (h.format == MmFormat::kCoordinate) {
+    s.nnz = checked_dim(ts, 2, "entry count");
+    // Entries are duplicate-free, so rows*cols bounds them; rejecting
+    // here keeps a tiny malformed file from driving a giant allocation.
+    if (static_cast<long long>(s.nnz) >
+        static_cast<long long>(s.rows) * s.cols) {
+      ts.fail("entry count " + std::to_string(s.nnz) +
+                  " exceeds rows*cols = " +
+                  std::to_string(static_cast<long long>(s.rows) * s.cols),
+              ts.tokens()[2].column);
     }
   }
+  return s;
 }
 
-la::CsrMatrix assemble(index_t rows, index_t cols, MmSymmetry symmetry,
-                       const std::vector<StoredEntry>& entries) {
-  la::CooBuilder builder(rows, cols);
-  for (const auto& e : entries) {
-    builder.add(e.i, e.j, e.v);
-    if (e.i != e.j) {
-      if (symmetry == MmSymmetry::kSymmetric) builder.add(e.j, e.i, e.v);
-      if (symmetry == MmSymmetry::kSkewSymmetric) builder.add(e.j, e.i, -e.v);
-    }
+// ---- streaming two-pass coordinate/array reads ------------------------------
+//
+// Pass 1 tokenizes the whole file, validates every entry, and counts the
+// expanded (post-symmetry) nonzeros per row.  The counts become the CSR
+// row_ptr by prefix sum; pass 2 rewinds the source and scatters column
+// indices and values straight into the preallocated CSR arrays.  Peak
+// memory is the final CSR plus one O(rows) cursor array — there is no
+// staged triplet vector, so a SuiteSparse-sized file costs what its
+// matrix costs.
+
+/// One parsed coordinate entry (0-based, validated against the header).
+struct CoordEntry {
+  index_t i = 0;
+  index_t j = 0;
+  double v = 0.0;
+};
+
+/// Parse and validate the next coordinate entry; `e` is its 0-based
+/// ordinal, used by the end-of-file diagnostic.
+CoordEntry next_coord_entry(MmTokenStream& ts, const MmHeader& h,
+                            const MmSize& s, index_t e) {
+  if (!ts.next_content_line()) {
+    ts.fail("unexpected end of file: expected " + std::to_string(s.nnz) +
+            " entries, got " + std::to_string(e));
   }
-  return builder.build();
+  const std::size_t want = h.field == MmField::kPattern ? 2 : 3;
+  if (ts.tokens().size() != want) {
+    ts.fail("entry wants " + std::to_string(want) + " tokens (" +
+                (want == 2 ? "row col" : "row col value") + "), got " +
+                std::to_string(ts.tokens().size()),
+            ts.tokens()[0].column);
+  }
+  const long long i1 = parse_index(ts, 0, "row index");
+  const long long j1 = parse_index(ts, 1, "column index");
+  if (i1 < 1 || i1 > s.rows) {
+    ts.fail("row index " + std::to_string(i1) + " outside [1, " +
+                std::to_string(s.rows) + "]",
+            ts.tokens()[0].column);
+  }
+  if (j1 < 1 || j1 > s.cols) {
+    ts.fail("column index " + std::to_string(j1) + " outside [1, " +
+                std::to_string(s.cols) + "]",
+            ts.tokens()[1].column);
+  }
+  CoordEntry entry;
+  entry.i = static_cast<index_t>(i1 - 1);
+  entry.j = static_cast<index_t>(j1 - 1);
+  if (h.symmetry != MmSymmetry::kGeneral && entry.j > entry.i) {
+    ts.fail(to_string(h.symmetry) +
+                " storage keeps only the lower triangle; entry (" +
+                std::to_string(i1) + ", " + std::to_string(j1) +
+                ") lies above the diagonal",
+            ts.tokens()[0].column);
+  }
+  if (h.symmetry == MmSymmetry::kSkewSymmetric && entry.i == entry.j) {
+    ts.fail("skew-symmetric matrices have no diagonal entries, got (" +
+                std::to_string(i1) + ", " + std::to_string(j1) + ")",
+            ts.tokens()[0].column);
+  }
+  entry.v =
+      h.field == MmField::kPattern ? 1.0 : parse_value(ts, 2, h.field);
+  return entry;
 }
 
-la::CsrMatrix read_coordinate(Parser& p, const MmHeader& h, index_t rows,
-                              index_t cols, index_t nnz) {
-  std::vector<StoredEntry> entries;
-  entries.reserve(static_cast<std::size_t>(nnz));
-  LineTokens lt;
-  for (index_t e = 0; e < nnz; ++e) {
-    if (!p.next_content_line(&lt)) {
-      p.fail("unexpected end of file: expected " + std::to_string(nnz) +
-             " entries, got " + std::to_string(e));
+/// Error path only: the duplicate (si, sj) — STORED, 1-based-off-by-one
+/// coordinates — was detected after scattering, where per-entry source
+/// lines are no longer known.  Re-tokenize the file and report the line
+/// of the second stored occurrence, matching what a staged reader would
+/// have said.  (A third pass is fine here: diagnostics may be slow, the
+/// happy path may not.)
+[[noreturn]] void fail_duplicate(MmTokenStream& ts, const MmHeader& h,
+                                 const MmSize& s, index_t si, index_t sj) {
+  ts.rewind();
+  std::string banner;
+  (void)ts.next_raw_line(&banner);
+  (void)ts.next_content_line();  // size line
+  int seen = 0;
+  std::size_t line = 0;
+  for (index_t e = 0; e < s.nnz; ++e) {
+    const CoordEntry entry = next_coord_entry(ts, h, s, e);
+    if (entry.i == si && entry.j == sj) {
+      line = ts.line_number();
+      if (++seen == 2) break;
     }
-    const std::size_t want = h.field == MmField::kPattern ? 2 : 3;
-    if (lt.tokens.size() != want) {
-      p.fail("entry wants " + std::to_string(want) + " tokens (" +
-                 (want == 2 ? "row col" : "row col value") + "), got " +
-                 std::to_string(lt.tokens.size()),
-             lt.columns[0]);
-    }
-    const long long i1 = p.parse_index(lt, 0, "row index");
-    const long long j1 = p.parse_index(lt, 1, "column index");
-    if (i1 < 1 || i1 > rows) {
-      p.fail("row index " + std::to_string(i1) + " outside [1, " +
-                 std::to_string(rows) + "]",
-             lt.columns[0]);
-    }
-    if (j1 < 1 || j1 > cols) {
-      p.fail("column index " + std::to_string(j1) + " outside [1, " +
-                 std::to_string(cols) + "]",
-             lt.columns[1]);
-    }
-    const index_t i = static_cast<index_t>(i1 - 1);
-    const index_t j = static_cast<index_t>(j1 - 1);
-    if (h.symmetry != MmSymmetry::kGeneral && j > i) {
-      p.fail(to_string(h.symmetry) +
-                 " storage keeps only the lower triangle; entry (" +
-                 std::to_string(i1) + ", " + std::to_string(j1) +
-                 ") lies above the diagonal",
-             lt.columns[0]);
-    }
-    if (h.symmetry == MmSymmetry::kSkewSymmetric && i == j) {
-      p.fail("skew-symmetric matrices have no diagonal entries, got (" +
-                 std::to_string(i1) + ", " + std::to_string(j1) + ")",
-             lt.columns[0]);
-    }
-    const double v =
-        h.field == MmField::kPattern ? 1.0 : p.parse_value(lt, 2, h.field);
-    entries.push_back({i, j, v, p.line_number()});
   }
-  if (p.next_content_line(&lt)) {
-    p.fail("extra entry after the declared " + std::to_string(nnz),
-           lt.columns[0]);
-  }
-  check_duplicates(p, entries);
-  return assemble(rows, cols, h.symmetry, entries);
+  throw MatrixMarketError(ts.name(), line, 1,
+                          "duplicate entry (" + std::to_string(si + 1) +
+                              ", " + std::to_string(sj + 1) + ")");
 }
 
-la::CsrMatrix read_array(Parser& p, const MmHeader& h, index_t rows,
-                         index_t cols) {
-  if (h.symmetry != MmSymmetry::kGeneral && rows != cols) {
-    p.fail(to_string(h.symmetry) + " array matrix must be square, got " +
-           std::to_string(rows) + "x" + std::to_string(cols));
+la::CsrMatrix read_coordinate(MmTokenStream& ts, const MmHeader& h,
+                              const MmSize& s) {
+  // Pass 1: validate every entry and count expanded nonzeros per row.
+  std::vector<index_t> row_ptr(static_cast<std::size_t>(s.rows) + 1, 0);
+  for (index_t e = 0; e < s.nnz; ++e) {
+    const CoordEntry entry = next_coord_entry(ts, h, s, e);
+    ++row_ptr[entry.i + 1];
+    if (entry.i != entry.j && h.symmetry != MmSymmetry::kGeneral) {
+      ++row_ptr[entry.j + 1];
+    }
   }
-  std::vector<StoredEntry> entries;
-  LineTokens lt;
-  // Column-major listing; symmetric stores i >= j, skew i > j.
-  for (index_t j = 0; j < cols; ++j) {
-    index_t i0 = 0;
-    if (h.symmetry == MmSymmetry::kSymmetric) i0 = j;
-    if (h.symmetry == MmSymmetry::kSkewSymmetric) i0 = j + 1;
-    for (index_t i = i0; i < rows; ++i) {
-      if (!p.next_content_line(&lt)) {
-        p.fail("unexpected end of file in the dense value listing");
+  if (ts.next_content_line()) {
+    ts.fail("extra entry after the declared " + std::to_string(s.nnz),
+            ts.tokens()[0].column);
+  }
+  for (index_t i = 0; i < s.rows; ++i) row_ptr[i + 1] += row_ptr[i];
+  const std::size_t total = static_cast<std::size_t>(row_ptr[s.rows]);
+
+  // Pass 2: scatter straight into the CSR arrays.
+  std::vector<index_t> col(total);
+  std::vector<double> val(total);
+  std::vector<index_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  ts.rewind();
+  std::string banner;
+  if (!ts.next_raw_line(&banner) || !ts.next_content_line()) {
+    ts.fail("input changed between reader passes");
+  }
+  for (index_t e = 0; e < s.nnz; ++e) {
+    const CoordEntry entry = next_coord_entry(ts, h, s, e);
+    col[cursor[entry.i]] = entry.j;
+    val[cursor[entry.i]++] = entry.v;
+    if (entry.i != entry.j) {
+      if (h.symmetry == MmSymmetry::kSymmetric) {
+        col[cursor[entry.j]] = entry.i;
+        val[cursor[entry.j]++] = entry.v;
+      } else if (h.symmetry == MmSymmetry::kSkewSymmetric) {
+        col[cursor[entry.j]] = entry.i;
+        val[cursor[entry.j]++] = -entry.v;
       }
-      if (lt.tokens.size() != 1) {
-        p.fail("array format wants one value per line, got " +
-                   std::to_string(lt.tokens.size()) + " tokens",
-               lt.columns[0]);
-      }
-      const double v = p.parse_value(lt, 0, h.field);
-      // Zeros are not stored in the sparse result; the dense writer
-      // regenerates them from the shape.
-      if (v != 0.0) entries.push_back({i, j, v});
     }
   }
-  if (p.next_content_line(&lt)) {
-    p.fail("extra value after the dense listing", lt.columns[0]);
+
+  // Restore the CSR invariant (columns sorted within each row) and check
+  // for duplicates — adjacent equal columns after the sort.  The scratch
+  // is O(longest row), reused across rows.
+  std::vector<std::pair<index_t, double>> row_scratch;
+  for (index_t i = 0; i < s.rows; ++i) {
+    const index_t b = row_ptr[i];
+    const index_t n = row_ptr[i + 1] - b;
+    if (n <= 1) continue;
+    row_scratch.resize(static_cast<std::size_t>(n));
+    for (index_t k = 0; k < n; ++k) {
+      row_scratch[k] = {col[b + k], val[b + k]};
+    }
+    std::sort(row_scratch.begin(), row_scratch.end(),
+              [](const auto& a, const auto& c) { return a.first < c.first; });
+    for (index_t k = 0; k < n; ++k) {
+      if (k > 0 && row_scratch[k].first == row_scratch[k - 1].first) {
+        // Expanded duplicates always come from stored duplicates (mirrors
+        // land strictly above the diagonal, stored entries strictly
+        // below), so the stored coordinate is the lower-triangle one.
+        const index_t j = row_scratch[k].first;
+        const index_t si = h.symmetry == MmSymmetry::kGeneral || i >= j
+                               ? i
+                               : j;
+        const index_t sj = si == i ? j : i;
+        fail_duplicate(ts, h, s, si, sj);
+      }
+      col[b + k] = row_scratch[k].first;
+      val[b + k] = row_scratch[k].second;
+    }
   }
-  return assemble(rows, cols, h.symmetry, entries);
+  return la::CsrMatrix(s.rows, s.cols, std::move(row_ptr), std::move(col),
+                       std::move(val));
 }
+
+la::CsrMatrix read_array(MmTokenStream& ts, const MmHeader& h,
+                         const MmSize& s) {
+  if (h.symmetry != MmSymmetry::kGeneral && s.rows != s.cols) {
+    ts.fail(to_string(h.symmetry) + " array matrix must be square, got " +
+            std::to_string(s.rows) + "x" + std::to_string(s.cols));
+  }
+  const auto start_row = [&](index_t j) {
+    if (h.symmetry == MmSymmetry::kSymmetric) return j;
+    if (h.symmetry == MmSymmetry::kSkewSymmetric) return j + 1;
+    return index_t{0};
+  };
+
+  // Pass 1: count the nonzero values per (expanded) row.  Zeros in the
+  // dense listing are not stored in the sparse result; the dense writer
+  // regenerates them from the shape.
+  std::vector<index_t> row_ptr(static_cast<std::size_t>(s.rows) + 1, 0);
+  for (index_t j = 0; j < s.cols; ++j) {
+    for (index_t i = start_row(j); i < s.rows; ++i) {
+      if (!ts.next_content_line()) {
+        ts.fail("unexpected end of file in the dense value listing");
+      }
+      if (ts.tokens().size() != 1) {
+        ts.fail("array format wants one value per line, got " +
+                    std::to_string(ts.tokens().size()) + " tokens",
+                ts.tokens()[0].column);
+      }
+      const double v = parse_value(ts, 0, h.field);
+      if (v == 0.0) continue;
+      ++row_ptr[i + 1];
+      if (i != j && h.symmetry != MmSymmetry::kGeneral) ++row_ptr[j + 1];
+    }
+  }
+  if (ts.next_content_line()) {
+    ts.fail("extra value after the dense listing", ts.tokens()[0].column);
+  }
+  for (index_t i = 0; i < s.rows; ++i) row_ptr[i + 1] += row_ptr[i];
+  const std::size_t total = static_cast<std::size_t>(row_ptr[s.rows]);
+
+  // Pass 2: scatter.  The column-major listing feeds each row its direct
+  // entries (ascending j) before its mirrors (ascending i > j), so the
+  // scattered rows are already column-sorted — no per-row sort needed,
+  // and a dense listing cannot contain duplicates.
+  std::vector<index_t> col(total);
+  std::vector<double> val(total);
+  std::vector<index_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  ts.rewind();
+  std::string banner;
+  if (!ts.next_raw_line(&banner) || !ts.next_content_line()) {
+    ts.fail("input changed between reader passes");
+  }
+  for (index_t j = 0; j < s.cols; ++j) {
+    for (index_t i = start_row(j); i < s.rows; ++i) {
+      if (!ts.next_content_line()) {
+        ts.fail("input changed between reader passes");
+      }
+      const double v = parse_value(ts, 0, h.field);
+      if (v == 0.0) continue;
+      col[cursor[i]] = j;
+      val[cursor[i]++] = v;
+      if (i != j && h.symmetry != MmSymmetry::kGeneral) {
+        col[cursor[j]] = i;
+        val[cursor[j]++] =
+            h.symmetry == MmSymmetry::kSkewSymmetric ? -v : v;
+      }
+    }
+  }
+  return la::CsrMatrix(s.rows, s.cols, std::move(row_ptr), std::move(col),
+                       std::move(val));
+}
+
+// ---- writer validation ------------------------------------------------------
 
 void check_property(const la::CsrMatrix& a, MmSymmetry symmetry) {
   if (symmetry == MmSymmetry::kGeneral) return;
@@ -400,6 +479,22 @@ std::string value_repr(double v, MmField field) {
   return util::format_double(v);
 }
 
+/// Write `bytes` to `path`, gzip-compressing when the path ends in ".gz"
+/// (so writing the twin of a file the reader auto-detects is symmetric).
+void write_file_bytes(const std::string& path, const std::string& bytes) {
+  const bool gz =
+      path.size() >= 3 && path.compare(path.size() - 3, 3, ".gz") == 0;
+  // Compress before opening (and only then copy): a gzip_compress throw
+  // must not truncate a pre-existing file, and the plain path writes the
+  // serialized bytes without another full-size copy.
+  const std::string compressed = gz ? gzip_compress(bytes) : std::string();
+  const std::string& out_bytes = gz ? compressed : bytes;
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw MatrixMarketError(path, 0, 0, "cannot open file for write");
+  out.write(out_bytes.data(),
+            static_cast<std::streamsize>(out_bytes.size()));
+}
+
 }  // namespace
 
 MatrixMarketError::MatrixMarketError(const std::string& name,
@@ -430,48 +525,35 @@ std::string to_string(MmSymmetry s) {
   }
 }
 
-MmMatrix read_matrix_market(std::istream& in, const std::string& name) {
-  Parser p(in, name);
+MmMatrix read_matrix_market(ByteSource& source) {
+  MmTokenStream ts(source);
   MmMatrix out;
-  out.header = parse_banner(p);
-  LineTokens size_line;
-  if (!p.next_content_line(&size_line)) p.fail("missing size line");
-  const std::size_t want = out.header.format == MmFormat::kCoordinate ? 3 : 2;
-  if (size_line.tokens.size() != want) {
-    p.fail("size line wants " + std::to_string(want) + " integers (" +
-               (want == 3 ? "rows cols nnz" : "rows cols") + "), got " +
-               std::to_string(size_line.tokens.size()),
-           size_line.columns[0]);
-  }
-  const index_t rows = checked_dim(p, size_line, 0, "row count");
-  const index_t cols = checked_dim(p, size_line, 1, "column count");
-  if (out.header.symmetry != MmSymmetry::kGeneral && rows != cols) {
-    p.fail(to_string(out.header.symmetry) + " matrix must be square, got " +
-               std::to_string(rows) + "x" + std::to_string(cols),
-           size_line.columns[0]);
-  }
-  if (out.header.format == MmFormat::kCoordinate) {
-    const index_t nnz = checked_dim(p, size_line, 2, "entry count");
-    // Entries are duplicate-free, so rows*cols bounds them; rejecting
-    // here keeps a tiny malformed file from driving a giant reserve().
-    if (static_cast<long long>(nnz) >
-        static_cast<long long>(rows) * cols) {
-      p.fail("entry count " + std::to_string(nnz) + " exceeds rows*cols = " +
-                 std::to_string(static_cast<long long>(rows) * cols),
-             size_line.columns[2]);
-    }
-    out.matrix = read_coordinate(p, out.header, rows, cols, nnz);
-  } else {
-    out.matrix = read_array(p, out.header, rows, cols);
-  }
+  out.header = parse_banner(ts);
+  const MmSize size = parse_size_line(ts, out.header);
+  out.matrix = out.header.format == MmFormat::kCoordinate
+                   ? read_coordinate(ts, out.header, size)
+                   : read_array(ts, out.header, size);
   out.dia_friendly = la::DiaMatrix::profitable(out.matrix);
   return out;
 }
 
+MmMatrix read_matrix_market(std::istream& in, const std::string& name) {
+  IstreamByteSource raw(in, name);
+  // Sniff the gzip magic so in-memory .gz bytes read like .gz files; the
+  // sniff costs one rewind, which the two-pass reader requires anyway.
+  char magic[2];
+  const std::size_t got = raw.read(magic, sizeof(magic));
+  raw.rewind();
+  if (looks_gzip(magic, got)) {
+    auto gz = make_gzip_source(std::make_unique<IstreamByteSource>(in, name));
+    return read_matrix_market(*gz);
+  }
+  return read_matrix_market(raw);
+}
+
 MmMatrix read_matrix_market(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw MatrixMarketError(path, 0, 0, "cannot open file");
-  return read_matrix_market(in, path);
+  const auto source = open_byte_source(path);
+  return read_matrix_market(*source);
 }
 
 void write_matrix_market(std::ostream& out, const la::CsrMatrix& a,
@@ -549,13 +631,12 @@ void write_matrix_market(const std::string& path, const la::CsrMatrix& a,
   // truncate a pre-existing one.
   std::ostringstream buf;
   write_matrix_market(buf, a, options);
-  std::ofstream out(path);
-  if (!out) throw MatrixMarketError(path, 0, 0, "cannot open file for write");
-  out << buf.str();
+  write_file_bytes(path, buf.str());
 }
 
-Vec read_vector(std::istream& in, const std::string& name) {
-  const MmMatrix mm = read_matrix_market(in, name);
+namespace {
+
+Vec vector_from_matrix(const MmMatrix& mm, const std::string& name) {
   const la::CsrMatrix& a = mm.matrix;
   if (a.cols() != 1 && a.rows() != 1) {
     throw MatrixMarketError(name, 0, 0,
@@ -576,10 +657,19 @@ Vec read_vector(std::istream& in, const std::string& name) {
   return v;
 }
 
+}  // namespace
+
+Vec read_vector(ByteSource& source) {
+  return vector_from_matrix(read_matrix_market(source), source.name());
+}
+
+Vec read_vector(std::istream& in, const std::string& name) {
+  return vector_from_matrix(read_matrix_market(in, name), name);
+}
+
 Vec read_vector(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw MatrixMarketError(path, 0, 0, "cannot open file");
-  return read_vector(in, path);
+  const auto source = open_byte_source(path);
+  return read_vector(*source);
 }
 
 void write_vector(std::ostream& out, const Vec& v,
@@ -601,9 +691,7 @@ void write_vector(const std::string& path, const Vec& v,
                   const std::string& comment) {
   std::ostringstream buf;
   write_vector(buf, v, comment);
-  std::ofstream out(path);
-  if (!out) throw MatrixMarketError(path, 0, 0, "cannot open file for write");
-  out << buf.str();
+  write_file_bytes(path, buf.str());
 }
 
 }  // namespace mstep::io

@@ -1,0 +1,94 @@
+#include "io/token_stream.hpp"
+
+#include <cctype>
+
+#include "io/matrix_market.hpp"
+
+namespace mstep::io {
+
+void MmTokenStream::fail(const std::string& message,
+                         std::size_t column) const {
+  throw MatrixMarketError(name(), line_number_, column, message);
+}
+
+void MmTokenStream::refill() {
+  pos_ = 0;
+  len_ = source_->read(buf_.data(), buf_.size());
+  if (len_ == 0) eof_ = true;
+}
+
+bool MmTokenStream::next_line() {
+  line_.clear();
+  bool saw_any = false;
+  for (;;) {
+    if (pos_ >= len_) {
+      if (eof_) break;
+      refill();
+      if (len_ == 0) break;
+    }
+    // Consume up to the newline (or the end of the buffered window).
+    std::size_t i = pos_;
+    while (i < len_ && buf_[i] != '\n') ++i;
+    line_.append(buf_.data() + pos_, i - pos_);
+    saw_any = saw_any || i > pos_;
+    if (i < len_) {  // hit '\n'
+      pos_ = i + 1;
+      saw_any = true;
+      break;
+    }
+    pos_ = i;
+  }
+  if (!saw_any && line_.empty()) {
+    ++line_number_;  // end-of-file diagnostics point one past the last line
+    return false;
+  }
+  ++line_number_;
+  if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+  return true;
+}
+
+bool MmTokenStream::next_raw_line(std::string* out) {
+  if (!next_line()) return false;
+  *out = line_;
+  return true;
+}
+
+void MmTokenStream::tokenize(const std::string& line,
+                             std::vector<Token>* out) {
+  out->clear();
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size()) break;
+    const std::size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    out->push_back({line.substr(start, i - start), start + 1});
+  }
+}
+
+bool MmTokenStream::next_content_line() {
+  while (next_line()) {
+    if (!line_.empty() && line_[0] == '%') continue;  // comment
+    tokenize(line_, &tokens_);
+    if (tokens_.empty()) continue;  // blank
+    return true;
+  }
+  return false;
+}
+
+void MmTokenStream::rewind() {
+  source_->rewind();
+  pos_ = 0;
+  len_ = 0;
+  eof_ = false;
+  line_number_ = 0;
+  tokens_.clear();
+}
+
+}  // namespace mstep::io

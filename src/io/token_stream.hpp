@@ -1,0 +1,81 @@
+// Pull-based tokenizer for the streaming Matrix Market reader.
+//
+// MmTokenStream turns a ByteSource into the units the Matrix Market
+// grammar is made of — lines of whitespace-separated tokens — while
+// tracking the 1-based line and column of every token, which is the
+// source of the "file:line:col" part of each reader diagnostic.  It owns
+// a fixed-size byte buffer and one reused line/token arena, so tokenizing
+// an arbitrarily large file allocates O(longest line), not O(file).
+//
+// rewind() restarts the stream from byte 0 (re-inflating when the source
+// is gzip): the two-pass reader tokenizes the file twice — pass 1 counts,
+// pass 2 scatters — instead of staging entries in memory.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "io/byte_source.hpp"
+
+namespace mstep::io {
+
+class MmTokenStream {
+ public:
+  /// One whitespace-delimited token with the 1-based column it starts at.
+  struct Token {
+    std::string text;
+    std::size_t column = 0;
+  };
+
+  explicit MmTokenStream(ByteSource& source) : source_(&source) {}
+
+  /// Advance to the next line holding tokens, skipping "%" comment lines
+  /// and blank lines; false at end of input.  Tokens are in tokens()
+  /// until the next advance.
+  bool next_content_line();
+
+  /// Raw next line with no comment skipping — only for the banner, which
+  /// must be the very first line.  False at end of input.
+  bool next_raw_line(std::string* out);
+
+  /// Tokens of the current content line (valid until the next advance).
+  [[nodiscard]] const std::vector<Token>& tokens() const { return tokens_; }
+
+  /// 1-based line number of the current line; after end of input it
+  /// points one past the last line, so "unexpected end of file"
+  /// diagnostics are positioned there.
+  [[nodiscard]] std::size_t line_number() const { return line_number_; }
+
+  [[nodiscard]] const std::string& name() const { return source_->name(); }
+
+  /// Throw a MatrixMarketError positioned at the current line.
+  [[noreturn]] void fail(const std::string& message,
+                         std::size_t column = 0) const;
+
+  /// Restart from byte 0 for the second reader pass.
+  void rewind();
+
+  /// Split one line into whitespace-delimited tokens with 1-based start
+  /// columns — THE tokenization rule of the reader, shared by the
+  /// content-line path and the raw banner line so their diagnostics can
+  /// never diverge.
+  static void tokenize(const std::string& line, std::vector<Token>* out);
+
+ private:
+  /// Read the next physical line (stripping "\r\n"); false at EOF with an
+  /// empty remainder.
+  bool next_line();
+  void refill();
+
+  ByteSource* source_;
+  std::vector<char> buf_ = std::vector<char>(1 << 16);
+  std::size_t pos_ = 0;   // next unread byte in buf_
+  std::size_t len_ = 0;   // valid bytes in buf_
+  bool eof_ = false;      // source exhausted (buffer may still hold bytes)
+  std::string line_;      // reused line storage
+  std::vector<Token> tokens_;
+  std::size_t line_number_ = 0;
+};
+
+}  // namespace mstep::io

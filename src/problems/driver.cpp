@@ -109,6 +109,7 @@ DriverResult run_resolved(const Problem& problem,
                             ? solver.prepare(problem.matrix, problem.classes)
                             : solver.prepare(problem.matrix);
   r.setup_seconds = setup_timer.seconds();
+  r.format_selected = solver::to_string(prepared.resolved_format());
 
   r.batch = prepared.solveMany(bs);
   r.error_messages.reserve(r.batch.size());
@@ -172,6 +173,7 @@ util::Json report_json(const DriverResult& r) {
       .set("nonzero_diagonals", r.nonzero_diagonals)
       .set("dia_friendly", r.dia_friendly)
       .set("used_classes", r.used_classes)
+      .set("format_selected", r.format_selected)
       .set("config", r.config.to_string())
       .set("nrhs", static_cast<long long>(r.batch.size()))
       .set("concurrency", r.batch.concurrency)

@@ -146,6 +146,7 @@ BatchReport Prepared::solveMany(util::Span<const Vec> bs,
         report.coloring = stats_;
         report.preconditioner_name = precond.name();
         report.steps = config_.steps;
+        report.format_selected = resolved_format_;
         br.reports[i] = std::move(report);  // distinct slot per RHS: no race
       } catch (...) {
         br.errors[i] = std::current_exception();

@@ -20,8 +20,10 @@ Ordering parse_ordering(const std::string& text) {
 MatrixFormat parse_format(const std::string& text) {
   if (text == "csr") return MatrixFormat::kCsr;
   if (text == "dia") return MatrixFormat::kDia;
+  if (text == "auto") return MatrixFormat::kAuto;
   throw std::invalid_argument(
-      "SolverConfig: format must be 'csr' or 'dia', got '" + text + "'");
+      "SolverConfig: format must be 'csr', 'dia', or 'auto', got '" + text +
+      "'");
 }
 
 core::StopRule parse_stop(const std::string& text) {
@@ -39,7 +41,15 @@ std::string to_string(Ordering o) {
 }
 
 std::string to_string(MatrixFormat f) {
-  return f == MatrixFormat::kCsr ? "csr" : "dia";
+  switch (f) {
+    case MatrixFormat::kCsr: return "csr";
+    case MatrixFormat::kDia: return "dia";
+    default: return "auto";
+  }
+}
+
+MatrixFormat matrix_format_from_string(const std::string& text) {
+  return parse_format(text);
 }
 
 std::string to_string(core::StopRule s) {

@@ -30,10 +30,23 @@ enum class Ordering {
 };
 
 /// Storage format the outer CG matrix-vector products run on.
+///
+/// `kAuto` defers the choice to prepare time: the solver probes the
+/// actual iteration matrix (after any multicolour permutation) with
+/// la::DiaMatrix::profitable and routes through kDia when the diagonal
+/// layout pays off, kCsr otherwise.  The resolved choice is reported in
+/// SolveReport::format_selected (and the driver's JSON `format_selected`
+/// field), so a log line always names the layout that actually ran.
 enum class MatrixFormat {
-  kCsr,  // general sparsity
-  kDia,  // by diagonals — the CYBER 203/205 layout (Section 3.1)
+  kCsr,   // general sparsity
+  kDia,   // by diagonals — the CYBER 203/205 layout (Section 3.1)
+  kAuto,  // probe at prepare time; resolves to kCsr or kDia
 };
+
+/// Parse "csr" | "dia" | "auto"; throws std::invalid_argument otherwise.
+/// (The inverse of to_string(MatrixFormat), for drivers that take a
+/// --format flag without going through SolverConfig::from_cli.)
+[[nodiscard]] MatrixFormat matrix_format_from_string(const std::string& text);
 
 /// Execution policy for the hot kernels (multicolor sweeps, SpMV, vector
 /// ops).  threads = 0 is the serial default — the solve runs entirely on
@@ -74,17 +87,24 @@ struct BatchConfig {
   int concurrency = 0;
 };
 
+/// The whole design space of one solve, declaratively.  Every field
+/// round-trips through to_string()/from_string() and the --flag set of
+/// from_cli(), so a config is reproducible from one log line.
 struct SolverConfig {
+  /// SplittingRegistry key (jacobi | ssor | richardson | user-registered).
   std::string splitting = "ssor";
   SplitOptions splitting_options;        // e.g. {"omega", 1.2}
   int steps = 4;                         // m; 0 = plain CG
   std::string params = "lsq";            // parameter strategy key
   Ordering ordering = Ordering::kMulticolor;
+  /// Operator storage for the outer CG products (string form
+  /// "format=csr|dia|auto", CLI --format).  kAuto defers to the
+  /// bandedness probe at prepare time; see MatrixFormat.
   MatrixFormat format = MatrixFormat::kCsr;
   core::StopRule stop_rule = core::StopRule::kDeltaInf;
-  double tolerance = 1e-6;
+  double tolerance = 1e-6;               // on the stop_rule quantity
   int max_iterations = 20000;
-  bool record_history = false;
+  bool record_history = false;           // keep per-iteration history
   /// Serial by default; serializes as "threads=N" only when parallel, so
   /// serial config strings are unchanged from the unthreaded library.
   ExecutionConfig execution;

@@ -151,8 +151,18 @@ Prepared Solver::prepare(const la::CsrMatrix& k,
   p.splitting_ = std::move(choice.splitting);
   p.precond_ = std::move(choice.precond);
 
-  // 3. Operator view for the outer CG products.
-  if (config_.format == MatrixFormat::kDia) {
+  // 3. Operator view for the outer CG products.  `auto` is resolved HERE,
+  // on the matrix PCG actually iterates on (the colour-permuted one when
+  // multicolour) — a matrix that is banded in the caller's ordering can
+  // scatter its diagonals under the permutation and vice versa, so the
+  // probe must see the operator matrix, not the input.
+  p.resolved_format_ = config_.format;
+  if (p.resolved_format_ == MatrixFormat::kAuto) {
+    p.resolved_format_ = la::DiaMatrix::profitable(*p.matrix_)
+                             ? MatrixFormat::kDia
+                             : MatrixFormat::kCsr;
+  }
+  if (p.resolved_format_ == MatrixFormat::kDia) {
     p.dia_ =
         std::make_unique<la::DiaMatrix>(la::DiaMatrix::from_csr(*p.matrix_));
     p.op_ = std::make_unique<la::DiaOperator>(*p.dia_);
@@ -205,6 +215,7 @@ SolveReport Prepared::solve(const Vec& f, const Vec& u0) const {
   report.coloring = stats_;
   report.preconditioner_name = precond_->name();
   report.steps = config_.steps;
+  report.format_selected = resolved_format_;
   return report;
 }
 

@@ -49,6 +49,10 @@ struct SolveReport {
   ColoringStats coloring;
   std::string preconditioner_name;
   int steps = 0;
+  /// The storage format the outer products actually ran on — always kCsr
+  /// or kDia, never kAuto (prepare resolves `format=auto` through the
+  /// la::DiaMatrix::profitable probe on the iteration matrix).
+  MatrixFormat format_selected = MatrixFormat::kCsr;
 
   [[nodiscard]] bool converged() const { return result.converged; }
   [[nodiscard]] int iterations() const { return result.iterations; }
@@ -195,6 +199,14 @@ class Prepared {
   [[nodiscard]] const ColoringStats& coloring() const { return stats_; }
   [[nodiscard]] const SolverConfig& config() const { return config_; }
 
+  /// The operator layout this pipeline runs on: the config's format, with
+  /// kAuto resolved (via la::DiaMatrix::profitable on the matrix the
+  /// outer products iterate on, i.e. after any colour permutation) to
+  /// kCsr or kDia at prepare time.
+  [[nodiscard]] MatrixFormat resolved_format() const {
+    return resolved_format_;
+  }
+
   /// Caller ordering <-> solve ordering (identity when natural).
   [[nodiscard]] Vec permute(const Vec& x) const;
   [[nodiscard]] Vec unpermute(const Vec& x) const;
@@ -227,6 +239,7 @@ class Prepared {
   std::vector<double> alphas_;
   core::SpectrumInterval interval_{};
   ColoringStats stats_;
+  MatrixFormat resolved_format_ = MatrixFormat::kCsr;
   core::KernelLog* log_ = nullptr;
 };
 

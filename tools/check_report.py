@@ -39,6 +39,7 @@ SCHEMA = {
     "nonzero_diagonals": (int,),
     "dia_friendly": (bool,),
     "used_classes": (bool,),
+    "format_selected": (str,),
     "config": (str,),
     "nrhs": (int,),
     "concurrency": (int,),
@@ -84,6 +85,19 @@ def main(argv):
                 failures.append(
                     f"'{name}' has {len(report[name])} entries, nrhs = "
                     f"{report.get('nrhs')}")
+
+    # format_selected records the operator layout that actually ran: always
+    # a concrete format, and mandatory-resolved when the config asked for
+    # the automatic probe (--format=auto must never leak "auto" through).
+    fmt = report.get("format_selected")
+    if isinstance(fmt, str) and fmt not in ("csr", "dia"):
+        failures.append(
+            f"format_selected must be 'csr' or 'dia', got '{fmt}'")
+    if "format=auto" in str(report.get("config", "")) and fmt not in (
+            "csr", "dia"):
+        failures.append(
+            "config requested format=auto but the report does not say "
+            "which format was selected")
 
     for spec in args.require:
         name, eq, value = spec.partition("=")

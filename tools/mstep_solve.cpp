@@ -3,17 +3,19 @@
 //
 //   mstep_solve --problem=poisson3d:n=32 --splitting=ssor --m=2
 //               --threads=4 --batch=8 --out=report.json
-//   mstep_solve --matrix=foo.mtx --rhs=foo_b.mtx --splitting=jacobi
+//   mstep_solve --matrix=foo.mtx.gz --rhs=foo_b.mtx --splitting=jacobi
 //   mstep_solve --list
 //
 // The system comes from the problem catalog (--problem=<spec>) or a
-// Matrix Market file (--matrix, optional --rhs; without --rhs the driver
-// manufactures b = K*1 so the error is still measurable).  Every
-// SolverConfig flag applies (--splitting/--m/--params/--ordering/
-// --format/--threads/--batch/...), --nrhs adds deterministic extra
-// right-hand sides for the batch engine, and --out writes the JSON
-// report tools/check_report.py validates in CI.  Exit status: 0 all
-// solved and converged, 1 otherwise, 2 on a usage/config/file error.
+// Matrix Market file (--matrix, optional --rhs; .mtx.gz is auto-detected
+// and streamed; without --rhs the driver manufactures b = K*1 so the
+// error is still measurable).  Every SolverConfig flag applies
+// (--splitting/--m/--params/--ordering/--format/--threads/--batch/...;
+// --format=auto probes the matrix and picks csr or dia), --nrhs adds
+// deterministic extra right-hand sides for the batch engine, and --out
+// writes the JSON report tools/check_report.py validates in CI.  Exit
+// status: 0 all solved and converged, 1 otherwise, 2 on a
+// usage/config/file error.
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -52,16 +54,67 @@ int list_registries() {
   return 0;
 }
 
+// Every flag the driver accepts, one line each — tools/check_docs.py
+// audits that each mstep_solve flag the docs mention appears here.
+int print_help() {
+  std::cout <<
+      "mstep_solve — run any problem through the m-step PCG pipeline\n"
+      "\n"
+      "usage:\n"
+      "  mstep_solve --problem=<spec> [solver flags] [--out=report.json]\n"
+      "  mstep_solve --matrix=<file.mtx[.gz]> [--rhs=<file.mtx[.gz]>] ...\n"
+      "  mstep_solve --list | --help\n"
+      "\n"
+      "input (exactly one of):\n"
+      "  --problem=<spec>   catalog spec, e.g. poisson3d:n=32 (see --list)\n"
+      "  --matrix=<path>    Matrix Market file; gzip (.mtx.gz) is\n"
+      "                     auto-detected and streamed\n"
+      "\n"
+      "input options:\n"
+      "  --rhs=<path>       Matrix Market vector file (only with --matrix;\n"
+      "                     default: manufactured b = K*1)\n"
+      "  --nrhs=<K>         total right-hand sides; extras are deterministic\n"
+      "                     pseudo-random vectors for the batch engine (default 1)\n"
+      "\n"
+      "solver configuration (SolverConfig flags):\n"
+      "  --splitting=<spec> splitting key with options, e.g. ssor:omega=1.2\n"
+      "                     (default ssor)\n"
+      "  --m=<int>          preconditioner steps; 0 = plain CG (default 4)\n"
+      "  --params=<key>     parameter strategy: ones | lsq | minmax (default lsq)\n"
+      "  --ordering=<o>     natural | multicolor (default multicolor)\n"
+      "  --format=<f>       csr | dia | auto — operator storage for the outer\n"
+      "                     products; auto probes the matrix and picks dia\n"
+      "                     when the diagonal layout pays off (default csr)\n"
+      "  --stop=<rule>      delta_inf | residual2 (default delta_inf)\n"
+      "  --tol=<t>          stopping tolerance (default 1e-06)\n"
+      "  --maxit=<n>        iteration cap (default 20000)\n"
+      "  --threads=<N>      kernel threads; 0 = serial, bitwise-identical\n"
+      "                     results for any N (default 0)\n"
+      "  --batch=<N>        concurrent right-hand-side lanes; 0 = auto\n"
+      "                     (default 0)\n"
+      "\n"
+      "output:\n"
+      "  --out=<path>       write the JSON report (schema: docs/file-formats.md,\n"
+      "                     validated by tools/check_report.py)\n"
+      "  --list             print registered problems/splittings/strategies\n"
+      "  --help             this text\n"
+      "\n"
+      "exit status: 0 all solved and converged, 1 otherwise, 2 on a\n"
+      "usage/config/file error.\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     std::vector<std::string> allowed = {"problem", "matrix", "rhs", "nrhs",
-                                        "out", "list"};
+                                        "out", "list", "help"};
     for (const auto& f : solver::SolverConfig::cli_flags()) {
       allowed.push_back(f);
     }
     const util::Cli cli(argc, argv, std::move(allowed));
+    if (cli.has("help")) return print_help();
     if (cli.has("list")) return list_registries();
 
     problems::DriverInput input;
@@ -77,7 +130,8 @@ int main(int argc, char** argv) {
               << "N = " << r.n << ", nnz = " << r.nnz << ", bandwidth = "
               << r.bandwidth << ", " << r.nonzero_diagonals
               << " nonzero diagonals" << (r.dia_friendly ? " (DIA-friendly)" : "")
-              << "\nconfig: " << r.config.to_string() << '\n';
+              << "\nconfig: " << r.config.to_string()
+              << "\noperator format: " << r.format_selected << '\n';
 
     util::Table t({"rhs", "iterations", "final |du|_inf", "status"});
     for (std::size_t i = 0; i < r.batch.size(); ++i) {
