@@ -1,0 +1,311 @@
+// bench_served — concurrent-client load against the mstep_served daemon.
+//
+// By default the bench hosts an in-process serve::Server on an ephemeral
+// Unix socket (no port juggling, no external setup); --connect points it
+// at a running daemon instead.  Two workloads:
+//
+//   hot    every client hammers ONE catalog spec under one config.  The
+//          pipeline is primed before timing starts, so the measured phase
+//          is pure cache-hit traffic — the daemon's steady-state fast
+//          path.
+//   mixed  clients rotate (staggered) through several spec x config
+//          pairs, all primed, so the measured phase bounces between
+//          resident prepared pipelines — the cache's working-set path.
+//
+// Clients count their own cache verdicts and busy retries from the
+// replies, so the per-workload hit rate needs no metrics parsing; one
+// served result per workload is compared BITWISE against a direct
+// in-process Solver run of the same problem and config.  Rows go to
+// --out=BENCH_served.json for the CI perf gate, which checks the
+// scale-free columns (cache_hit_rate:higher, converged=true,
+// bitwise_match_direct=true); throughput and latency columns are
+// reported for humans and the perf-over-time collation, not gated.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "problems/problem.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "solver/config.hpp"
+#include "solver/solver.hpp"
+#include "util/cli.hpp"
+#include "util/json_writer.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace mstep;
+
+struct Target {
+  std::string spec;
+  std::string config;
+};
+
+struct Run {
+  std::string workload;
+  int clients = 0;
+  int requests_per_client = 0;
+  int requests_total = 0;
+  double wall_seconds = 0.0;
+  double throughput_rps = 0.0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double cache_hit_rate = 0.0;
+  long long busy_retries = 0;
+  bool converged = true;
+  bool bitwise_match_direct = true;
+};
+
+/// What one client thread saw: per-request end-to-end latency plus the
+/// reply-derived tallies the workload row aggregates.
+struct ClientTally {
+  std::vector<double> latencies;
+  long long hits = 0;
+  long long solves = 0;
+  long long busy_retries = 0;
+  bool converged = true;
+  std::string error;
+};
+
+void run_client(const std::string& endpoint, const std::vector<Target>& mix,
+                int offset, int requests, ClientTally* tally) {
+  try {
+    serve::Client client = serve::Client::connect(endpoint);
+    tally->latencies.reserve(static_cast<std::size_t>(requests));
+    for (int i = 0; i < requests; ++i) {
+      const Target& t = mix[static_cast<std::size_t>(offset + i) % mix.size()];
+      serve::SolveRequest request;
+      request.source = serve::MatrixSource::kCatalog;
+      request.problem = t.spec;
+      request.config = t.config;
+      util::Timer timer;
+      int attempts = 1;
+      const serve::SolveResponse reply =
+          client.solve_with_retry(request, 20, 5, &attempts);
+      tally->latencies.push_back(timer.seconds());
+      tally->busy_retries += attempts - 1;
+      if (reply.retcode != serve::Retcode::kOk) {
+        tally->converged = false;
+        tally->error =
+            std::string(serve::to_string(reply.retcode)) + ": " + reply.message;
+        return;
+      }
+      ++tally->solves;
+      if (reply.cache_hit) ++tally->hits;
+      if (!reply.all_converged()) tally->converged = false;
+    }
+  } catch (const std::exception& e) {
+    tally->converged = false;
+    tally->error = e.what();
+  }
+}
+
+double percentile_ms(std::vector<double> sorted_seconds, double q) {
+  if (sorted_seconds.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_seconds.size() - 1) + 0.5);
+  return sorted_seconds[std::min(idx, sorted_seconds.size() - 1)] * 1e3;
+}
+
+/// The bitwise contract: a served solve of (spec, config) must equal a
+/// direct in-process Solver run — same iterations, same final delta, same
+/// solution bits.  The server's default-RHS rule (the problem's own RHS,
+/// else b = K*1) is replicated here.
+bool served_matches_direct(const std::string& endpoint, const Target& t) {
+  serve::Client client = serve::Client::connect(endpoint);
+  const serve::SolveResponse reply = client.solve_catalog(t.spec, t.config);
+  if (reply.retcode != serve::Retcode::kOk || reply.results.size() != 1) {
+    return false;
+  }
+  problems::Problem p = problems::ProblemRegistry::instance().create(t.spec);
+  solver::Solver solver =
+      solver::Solver::from_config(solver::SolverConfig::from_string(t.config));
+  const solver::Prepared prepared = p.has_classes()
+                                        ? solver.prepare(p.matrix, p.classes)
+                                        : solver.prepare(p.matrix);
+  Vec b = p.rhs;
+  if (b.empty()) {
+    const Vec ones(static_cast<std::size_t>(p.matrix.rows()), 1.0);
+    b.resize(ones.size());
+    p.matrix.multiply(ones, b);
+  }
+  const std::vector<Vec> bs{std::move(b)};
+  const solver::BatchReport direct =
+      prepared.solveMany(util::Span<const Vec>(bs.data(), bs.size()));
+  if (direct.reports.size() != 1) return false;
+  const solver::SolveReport& d = direct.reports[0];
+  const serve::RhsResult& s = reply.results[0];
+  return s.ok && s.iterations == d.iterations() &&
+         s.final_delta_inf == d.result.final_delta_inf &&
+         s.solution == d.solution;
+}
+
+Run run_workload(const std::string& name, const std::string& endpoint,
+                 const std::vector<Target>& mix, int clients, int requests) {
+  // Prime every pipeline once so the timed phase measures steady-state
+  // serving, not first-touch preparation (reported by the daemon as
+  // setup_seconds; bench_catalog times preparation itself).
+  {
+    serve::Client primer = serve::Client::connect(endpoint);
+    for (const Target& t : mix) {
+      const serve::SolveResponse reply = primer.solve_catalog(t.spec, t.config);
+      if (reply.retcode != serve::Retcode::kOk) {
+        throw std::runtime_error("priming " + t.spec + " failed: " +
+                                 serve::to_string(reply.retcode) + ": " +
+                                 reply.message);
+      }
+    }
+  }
+
+  std::vector<ClientTally> tallies(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(tallies.size());
+  util::Timer wall;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back(run_client, endpoint, std::cref(mix), c, requests,
+                         &tallies[static_cast<std::size_t>(c)]);
+  }
+  for (auto& t : threads) t.join();
+
+  Run run;
+  run.workload = name;
+  run.clients = clients;
+  run.requests_per_client = requests;
+  run.requests_total = clients * requests;
+  run.wall_seconds = wall.seconds();
+
+  std::vector<double> latencies;
+  long long hits = 0;
+  long long solves = 0;
+  for (const ClientTally& tally : tallies) {
+    if (!tally.error.empty()) {
+      std::cerr << "bench_served: client failed: " << tally.error << '\n';
+    }
+    latencies.insert(latencies.end(), tally.latencies.begin(),
+                     tally.latencies.end());
+    hits += tally.hits;
+    solves += tally.solves;
+    run.busy_retries += tally.busy_retries;
+    run.converged = run.converged && tally.converged;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  double sum = 0.0;
+  for (double s : latencies) sum += s;
+  run.throughput_rps =
+      run.wall_seconds > 0.0 ? run.requests_total / run.wall_seconds : 0.0;
+  run.mean_ms = latencies.empty() ? 0.0 : sum / latencies.size() * 1e3;
+  run.p50_ms = percentile_ms(latencies, 0.50);
+  run.p99_ms = percentile_ms(latencies, 0.99);
+  run.cache_hit_rate = solves > 0 ? static_cast<double>(hits) / solves : 0.0;
+  run.bitwise_match_direct = served_matches_direct(endpoint, mix.front());
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string unix_path;
+  try {
+    util::Cli cli(argc, argv,
+                  {"quick", "clients", "requests", "connect", "cache-mb",
+                   "out"});
+    const bool quick = cli.has("quick");
+    const int clients = cli.get_int("clients", quick ? 4 : 8);
+    const int requests = cli.get_int("requests", quick ? 16 : 64);
+    const std::string out_path = cli.get("out", "BENCH_served.json");
+    std::string endpoint = cli.get("connect", "");
+
+    // Host the daemon in-process unless pointed at a running one.
+    serve::Server* server = nullptr;
+    std::unique_ptr<serve::Server> owned;
+    std::thread server_thread;
+    if (endpoint.empty()) {
+      unix_path = "/tmp/mstep_bench_" + std::to_string(getpid()) + ".sock";
+      serve::ServerOptions options;
+      options.unix_path = unix_path;
+      options.cache_bytes =
+          static_cast<std::size_t>(cli.get_int("cache-mb", 256)) << 20;
+      owned = std::make_unique<serve::Server>(options);
+      owned->bind();
+      server = owned.get();
+      server_thread = std::thread([server] { server->run(); });
+      endpoint = "unix:" + unix_path;
+    }
+
+    const std::string base_config = "splitting=ssor;m=2";
+    const std::vector<Target> hot = {
+        {quick ? "poisson2d:n=24" : "poisson2d:n=48", base_config}};
+    const std::vector<Target> mixed = {
+        {quick ? "poisson2d:n=24" : "poisson2d:n=48", base_config},
+        {quick ? "poisson2d:n=24" : "poisson2d:n=48", "splitting=ssor;m=1"},
+        {quick ? "poisson3d:n=8" : "poisson3d:n=14", base_config},
+        {quick ? "femplate:a=12" : "femplate:a=24", base_config},
+    };
+
+    std::cout << "== mstep_served load harness ==\n"
+              << "endpoint " << endpoint << ", " << clients << " client(s) x "
+              << requests << " request(s)\n\n";
+
+    std::vector<Run> runs;
+    runs.push_back(run_workload("hot", endpoint, hot, clients, requests));
+    runs.push_back(run_workload("mixed", endpoint, mixed, clients, requests));
+
+    if (server != nullptr) {
+      server->request_shutdown();
+      server_thread.join();
+    }
+
+    util::Table t({"workload", "req", "rps", "mean ms", "p50 ms", "p99 ms",
+                   "hit rate", "busy", "ok"});
+    for (const Run& r : runs) {
+      t.add_row({r.workload, util::Table::integer(r.requests_total),
+                 util::Table::num(r.throughput_rps, 1),
+                 util::Table::num(r.mean_ms, 3), util::Table::num(r.p50_ms, 3),
+                 util::Table::num(r.p99_ms, 3),
+                 util::Table::num(r.cache_hit_rate, 3),
+                 util::Table::integer(r.busy_retries),
+                 r.converged && r.bitwise_match_direct ? "yes" : "NO"});
+    }
+    t.print(std::cout, "served throughput (client-observed end-to-end)");
+
+    util::Json rows = util::Json::array();
+    for (const Run& r : runs) {
+      rows.push(util::Json::object()
+                    .set("tool", "bench_served")
+                    .set("workload", r.workload)
+                    .set("clients", static_cast<long long>(r.clients))
+                    .set("requests_per_client",
+                         static_cast<long long>(r.requests_per_client))
+                    .set("requests_total",
+                         static_cast<long long>(r.requests_total))
+                    .set("wall_seconds", r.wall_seconds)
+                    .set("throughput_rps", r.throughput_rps)
+                    .set("mean_ms", r.mean_ms)
+                    .set("p50_ms", r.p50_ms)
+                    .set("p99_ms", r.p99_ms)
+                    .set("cache_hit_rate", r.cache_hit_rate)
+                    .set("busy_retries", r.busy_retries)
+                    .set("converged", r.converged)
+                    .set("bitwise_match_direct", r.bitwise_match_direct));
+    }
+    std::ofstream json(out_path);
+    rows.dump(json);
+    std::cout << "wrote " << out_path << '\n';
+
+    bool ok = true;
+    for (const Run& r : runs) ok = ok && r.converged && r.bitwise_match_direct;
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_served: " << e.what() << '\n';
+    if (!unix_path.empty()) ::unlink(unix_path.c_str());
+    return 1;
+  }
+}

@@ -1,0 +1,91 @@
+#include "serve/hash.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace mstep::serve {
+
+void Fnv1a::bytes(const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    state_ ^= p[i];
+    state_ *= 0x100000001b3ull;  // FNV prime
+  }
+}
+
+void Fnv1a::u64(std::uint64_t v) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xffu);
+  }
+  bytes(buf, sizeof(buf));
+}
+
+void Fnv1a::f64(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void Fnv1a::str(const std::string& s) {
+  u64(s.size());  // length prefix keeps "ab","c" distinct from "a","bc"
+  bytes(s.data(), s.size());
+}
+
+std::uint64_t matrix_fingerprint(const la::CsrMatrix& m) {
+  Fnv1a h;
+  h.u64(static_cast<std::uint64_t>(m.rows()));
+  h.u64(static_cast<std::uint64_t>(m.cols()));
+  for (const index_t p : m.row_ptr()) h.u64(static_cast<std::uint64_t>(p));
+  for (const index_t c : m.col_idx()) h.u64(static_cast<std::uint64_t>(c));
+  for (const double v : m.values()) h.f64(v);
+  return h.digest();
+}
+
+std::uint64_t pipeline_fingerprint(const la::CsrMatrix& m,
+                                   const color::ColorClasses& classes) {
+  std::uint64_t fp = matrix_fingerprint(m);
+  if (classes.classes.empty()) return fp;
+  Fnv1a h;
+  h.u64(fp);
+  h.u64(classes.classes.size());
+  for (const auto& cls : classes.classes) {
+    h.u64(cls.size());
+    for (const index_t eq : cls) h.u64(static_cast<std::uint64_t>(eq));
+  }
+  return h.digest();
+}
+
+std::string fingerprint_hex(std::uint64_t fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+std::uint64_t fingerprint_from_hex(const std::string& text) {
+  std::string t = text;
+  if (t.rfind("0x", 0) == 0 || t.rfind("0X", 0) == 0) t = t.substr(2);
+  if (t.empty() || t.size() > 16) {
+    throw std::invalid_argument("bad fingerprint '" + text +
+                                "': want up to 16 hex digits");
+  }
+  std::uint64_t v = 0;
+  for (const char c : t) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      throw std::invalid_argument("bad fingerprint '" + text +
+                                  "': non-hex digit");
+    }
+  }
+  return v;
+}
+
+}  // namespace mstep::serve

@@ -1,0 +1,56 @@
+// Content fingerprints for the prepared-pipeline cache.
+//
+// The cache key is matrix CONTENT hash × canonical SolverConfig string:
+// two requests hit the same entry exactly when they would build the same
+// pipeline, regardless of whether the matrix arrived as a catalog spec,
+// an inline CSR payload, or a fingerprint reference.  FNV-1a over the
+// structural arrays and the value bytes is enough — this is a cache key
+// and a resend-shortcut token, not a cryptographic commitment (a client
+// that must not trust the transport should send the matrix inline).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "color/coloring.hpp"
+#include "la/csr_matrix.hpp"
+
+namespace mstep::serve {
+
+/// Streaming 64-bit FNV-1a.
+class Fnv1a {
+ public:
+  void bytes(const void* data, std::size_t len);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  void str(const std::string& s);
+
+  [[nodiscard]] std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0xcbf29ce484222325ull;  // FNV offset basis
+};
+
+/// Fingerprint of a CSR matrix: dimensions, row pointers, column indices,
+/// and the exact value bit patterns.  Equal hash <=> (with the usual
+/// 64-bit-collision caveat) equal operator, so a cache hit serves results
+/// bitwise identical to a direct solve on the same matrix.
+[[nodiscard]] std::uint64_t matrix_fingerprint(const la::CsrMatrix& m);
+
+/// Fingerprint of the whole pipeline INPUT: the matrix plus its
+/// closed-form colour classes when the problem ships them (empty classes
+/// fold to matrix_fingerprint exactly).  This is the hash the cache keys
+/// on and the one solve replies advertise — the same matrix with and
+/// without catalog classes builds different orderings, so it must hash
+/// differently or a fingerprint request could be served by the wrong
+/// pipeline.
+[[nodiscard]] std::uint64_t pipeline_fingerprint(
+    const la::CsrMatrix& m, const color::ColorClasses& classes);
+
+/// Fingerprints render as fixed-width lowercase hex on every surface
+/// (responses are binary, but logs, reports, and the CLI use this form).
+[[nodiscard]] std::string fingerprint_hex(std::uint64_t fp);
+/// Parse the hex form (with or without "0x"); throws std::invalid_argument.
+[[nodiscard]] std::uint64_t fingerprint_from_hex(const std::string& text);
+
+}  // namespace mstep::serve

@@ -1,0 +1,95 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mstep::serve {
+
+int LatencyHistogram::bucket_of(double seconds) {
+  if (!(seconds > kFloorSeconds)) return 0;
+  const int b = static_cast<int>(
+      std::floor(std::log10(seconds / kFloorSeconds) * kBucketsPerDecade));
+  return std::min(std::max(b, 0), kBuckets - 1);
+}
+
+void LatencyHistogram::record(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++buckets_[static_cast<std::size_t>(bucket_of(seconds))];
+  ++count_;
+  sum_ += seconds;
+  max_ = std::max(max_, seconds);
+}
+
+double LatencyHistogram::percentile_locked(double q) const {
+  if (count_ == 0) return 0.0;
+  const double rank = q * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cumulative += buckets_[static_cast<std::size_t>(b)];
+    if (static_cast<double>(cumulative) >= rank) {
+      // Geometric midpoint of the bucket, clamped by the observed max.
+      const double lo =
+          kFloorSeconds * std::pow(10.0, double(b) / kBucketsPerDecade);
+      const double hi =
+          kFloorSeconds * std::pow(10.0, double(b + 1) / kBucketsPerDecade);
+      return std::min(std::sqrt(lo * hi), max_);
+    }
+  }
+  return max_;
+}
+
+LatencyHistogram::Summary LatencyHistogram::summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Summary s;
+  s.count = count_;
+  s.mean = count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  s.max = max_;
+  s.p50 = percentile_locked(0.50);
+  s.p99 = percentile_locked(0.99);
+  return s;
+}
+
+util::Json LatencyHistogram::to_json() const {
+  const Summary s = summary();
+  util::Json j = util::Json::object();
+  j.set("count", static_cast<long long>(s.count))
+      .set("mean", s.mean)
+      .set("max", s.max)
+      .set("p50", s.p50)
+      .set("p99", s.p99);
+  return j;
+}
+
+util::Json ServerMetrics::to_json(const PreparedCache::Stats& cache,
+                                  int queue_depth, int max_inflight,
+                                  double uptime_seconds) const {
+  util::Json requests = util::Json::object();
+  requests.set("solve", static_cast<long long>(solve_requests_.load()))
+      .set("metrics", static_cast<long long>(metrics_requests_.load()))
+      .set("shutdown", static_cast<long long>(shutdown_requests_.load()))
+      .set("errors", static_cast<long long>(error_replies_.load()))
+      .set("busy_rejections",
+           static_cast<long long>(busy_rejections_.load()));
+
+  util::Json cache_json = util::Json::object();
+  cache_json.set("entries", static_cast<long long>(cache.entries))
+      .set("bytes", static_cast<long long>(cache.bytes))
+      .set("capacity_bytes", static_cast<long long>(cache.capacity_bytes))
+      .set("hits", static_cast<long long>(cache.hits))
+      .set("misses", static_cast<long long>(cache.misses))
+      .set("evictions", static_cast<long long>(cache.evictions))
+      .set("hit_rate", cache.hit_rate());
+
+  util::Json j = util::Json::object();
+  j.set("tool", "mstep_served")
+      .set("uptime_seconds", uptime_seconds)
+      .set("queue_depth", queue_depth)
+      .set("max_inflight", max_inflight)
+      .set("requests", std::move(requests))
+      .set("cache", std::move(cache_json))
+      .set("latency_solve_seconds", solve_latency_.to_json())
+      .set("latency_request_seconds", request_latency_.to_json());
+  return j;
+}
+
+}  // namespace mstep::serve

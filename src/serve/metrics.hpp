@@ -1,0 +1,88 @@
+// Observability for the daemon: request counters and latency histograms,
+// rendered as the metrics JSON document that `mstep_request --metrics`
+// prints and tools/check_report.py --schema metrics validates in CI.
+//
+// The histogram is log-bucketed (8 buckets per decade from 1 µs to 1000 s)
+// so p50/p99 are read off the bucket boundaries with geometric
+// interpolation — a bounded-memory estimate, paired with exact
+// count/mean/max accumulators.  Everything is mutex-guarded; recording is
+// a handful of arithmetic ops, far off any solve's critical path.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "serve/cache.hpp"
+#include "util/json_writer.hpp"
+
+namespace mstep::serve {
+
+class LatencyHistogram {
+ public:
+  void record(double seconds);
+
+  struct Summary {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+  };
+  [[nodiscard]] Summary summary() const;
+
+  /// {"count": n, "mean": s, "max": s, "p50": s, "p99": s} — seconds.
+  [[nodiscard]] util::Json to_json() const;
+
+ private:
+  // 8 buckets/decade over [1e-6, 1e3) seconds, plus an overflow bucket.
+  static constexpr int kBucketsPerDecade = 8;
+  static constexpr int kDecades = 9;
+  static constexpr int kBuckets = kBucketsPerDecade * kDecades + 1;
+  static constexpr double kFloorSeconds = 1e-6;
+
+  [[nodiscard]] static int bucket_of(double seconds);
+  [[nodiscard]] double percentile_locked(double q) const;
+
+  mutable std::mutex mutex_;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// All the daemon's counters in one place.  The server owns one instance;
+/// connection threads bump it; to_json() assembles the full metrics
+/// document (cache stats and queue depth are passed in — they live with
+/// the cache and the admission gate).
+class ServerMetrics {
+ public:
+  void count_solve() { ++solve_requests_; }
+  void count_metrics() { ++metrics_requests_; }
+  void count_shutdown() { ++shutdown_requests_; }
+  void count_error() { ++error_replies_; }
+  void count_busy() { ++busy_rejections_; }
+  void count_cache_hit() { ++cache_hit_solves_; }
+
+  void record_solve_seconds(double s) { solve_latency_.record(s); }
+  void record_request_seconds(double s) { request_latency_.record(s); }
+
+  /// The full metrics document (docs/protocol.md, "Metrics schema").
+  [[nodiscard]] util::Json to_json(const PreparedCache::Stats& cache,
+                                   int queue_depth, int max_inflight,
+                                   double uptime_seconds) const;
+
+ private:
+  std::atomic<std::uint64_t> solve_requests_{0};
+  std::atomic<std::uint64_t> metrics_requests_{0};
+  std::atomic<std::uint64_t> shutdown_requests_{0};
+  std::atomic<std::uint64_t> error_replies_{0};
+  std::atomic<std::uint64_t> busy_rejections_{0};
+  std::atomic<std::uint64_t> cache_hit_solves_{0};
+  LatencyHistogram solve_latency_;
+  LatencyHistogram request_latency_;
+};
+
+}  // namespace mstep::serve

@@ -1,0 +1,149 @@
+// The mstep_served daemon core: accept loop, per-connection protocol
+// handling, admission control, the prepared-pipeline cache, metrics, and
+// graceful drain.
+//
+// One Server owns one PreparedCache and one ServerMetrics; each accepted
+// connection gets a handler thread that speaks the framed protocol
+// (serve/protocol.hpp) until the peer closes or the server drains.  A
+// solve request admitted past the inflight gate resolves its matrix
+// (catalog spec, inline CSR, or fingerprint), pulls the pipeline from the
+// cache — preparing it exactly when the cache misses — and runs the
+// existing Prepared::solveMany batch lanes, so a served solve is the same
+// code path (and bitwise the same answer) as a direct library call.
+//
+// Shutdown: request_shutdown() (also wired to SIGINT/SIGTERM by
+// install_signal_handlers(), via a self-pipe so the handler stays
+// async-signal-safe) stops the accept loop, lets in-flight requests
+// finish, joins every connection thread, writes the final metrics
+// snapshot, and returns from run() — the daemon then exits 0.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "serve/socket.hpp"
+#include "util/json_writer.hpp"
+#include "util/timer.hpp"
+
+namespace mstep::serve {
+
+/// Bounded in-flight counter — the admission queue.  A solve request that
+/// cannot enter is shed immediately with the retryable kBusy retcode;
+/// depth() is the metrics document's queue_depth gauge.
+class Admission {
+ public:
+  explicit Admission(int max_inflight) : max_(max_inflight) {}
+
+  [[nodiscard]] bool try_enter() {
+    int cur = depth_.load();
+    do {
+      if (cur >= max_) return false;
+    } while (!depth_.compare_exchange_weak(cur, cur + 1));
+    return true;
+  }
+  void leave() { --depth_; }
+
+  [[nodiscard]] int depth() const { return depth_.load(); }
+  [[nodiscard]] int max_inflight() const { return max_; }
+
+ private:
+  const int max_;
+  std::atomic<int> depth_{0};
+};
+
+struct ServerOptions {
+  /// TCP endpoint; port < 0 disables TCP, port 0 binds an ephemeral port
+  /// (read back via Server::bound_port()).
+  std::string host = "127.0.0.1";
+  int port = -1;
+  /// Unix-domain listener path; empty disables it.  The socket file is
+  /// created at bind() and unlinked again on shutdown.
+  std::string unix_path;
+  /// Prepared-pipeline cache budget.
+  std::size_t cache_bytes = 256ull << 20;
+  /// Solves in flight before kBusy shedding; 0 = 2 x hardware threads.
+  int max_inflight = 0;
+  /// Per-frame payload ceiling.
+  std::uint64_t max_payload = kDefaultMaxPayload;
+  /// Where run() writes the final metrics snapshot on drain; empty = skip.
+  std::string metrics_out;
+  /// One log line per request to stderr.
+  bool verbose = false;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Create the listeners.  Must be called before run(); separated so a
+  /// caller (test, bench, daemon banner) can learn the ephemeral port /
+  /// socket path before the accept loop starts.
+  void bind();
+  [[nodiscard]] int bound_port() const;
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+
+  /// The accept loop.  Blocks until a drain completes (request_shutdown,
+  /// a protocol kShutdown request, or an installed signal).
+  void run();
+
+  /// Begin a graceful drain; safe from any thread.  Idempotent.
+  void request_shutdown();
+
+  /// Route SIGINT/SIGTERM to request_shutdown() through a self-pipe.
+  /// Installs process-wide handlers; the most recently installed server
+  /// wins (one daemon per process is the intended shape).
+  void install_signal_handlers();
+
+  /// The current metrics document.
+  [[nodiscard]] util::Json metrics_json() const;
+  [[nodiscard]] const PreparedCache& cache() const { return cache_; }
+  [[nodiscard]] int queue_depth() const { return admission_.depth(); }
+
+ private:
+  struct Connection {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void serve_connection(Socket sock);
+  /// Dispatch one frame; returns false when the connection should close.
+  bool handle_frame(Socket& sock, MsgType type, const std::string& payload);
+  [[nodiscard]] SolveResponse handle_solve(SolveRequest request);
+  void reap_finished_connections(bool join_all);
+  void write_final_metrics();
+  void log(const std::string& line) const;
+
+  ServerOptions options_;
+  PreparedCache cache_;
+  ServerMetrics metrics_;
+  Admission admission_;
+  util::Timer uptime_;
+
+  Socket tcp_listener_;
+  Socket unix_listener_;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> shutdown_requested_{false};
+
+  std::mutex connections_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_;
+
+  /// Canonical catalog spec -> pipeline fingerprint, so a warm catalog
+  /// request skips problem GENERATION as well as preparation.
+  std::mutex spec_index_mutex_;
+  std::map<std::string, std::uint64_t> spec_index_;
+};
+
+}  // namespace mstep::serve

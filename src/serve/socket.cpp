@@ -1,0 +1,236 @@
+#include "serve/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <utility>
+
+namespace mstep::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw SocketError(what + ": " + std::strerror(errno));
+}
+
+/// A peer that vanishes mid-write raises SIGPIPE by default, which would
+/// kill the daemon; ask for EPIPE instead, per-call where the platform
+/// has it and process-wide otherwise.
+#ifndef MSG_NOSIGNAL
+#define MSTEP_NEED_SIGPIPE_IGNORE 1
+#define MSG_NOSIGNAL 0
+#endif
+
+void ignore_sigpipe_once() {
+#ifdef MSTEP_NEED_SIGPIPE_IGNORE
+  static const bool done = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)done;
+#endif
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::write_all(const char* data, std::size_t len) {
+  ignore_sigpipe_once();
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n =
+        ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool Socket::read_exact(char* out, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd_, out + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean close at a frame boundary
+      throw SocketError("peer closed the connection mid-frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Socket::wait_readable(int timeout_ms) {
+  struct pollfd p = {};
+  p.fd = fd_;
+  p.events = POLLIN;
+  for (;;) {
+    const int r = ::poll(&p, 1, timeout_ms);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    return r > 0;
+  }
+}
+
+Socket connect_tcp(const std::string& host, int port) {
+  struct addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res);
+  if (rc != 0) {
+    throw SocketError("resolve " + host + ": " + gai_strerror(rc));
+  }
+  SocketError last("connect " + host + ":" + std::to_string(port) +
+                   ": no addresses");
+  for (struct addrinfo* a = res; a != nullptr; a = a->ai_next) {
+    const int fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, a->ai_addr, a->ai_addrlen) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      ::freeaddrinfo(res);
+      return Socket(fd);
+    }
+    last = SocketError("connect " + host + ":" + std::to_string(port) + ": " +
+                       std::strerror(errno));
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  throw last;
+}
+
+namespace {
+
+struct sockaddr_un unix_address(const std::string& path) {
+  struct sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw SocketError("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Socket connect_unix(const std::string& path) {
+  const struct sockaddr_un addr = unix_address(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  if (::connect(fd, reinterpret_cast<const struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const SocketError e("connect " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    throw e;
+  }
+  return Socket(fd);
+}
+
+Socket listen_tcp(const std::string& host, int port, int backlog) {
+  struct addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  struct addrinfo* res = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res);
+  if (rc != 0) {
+    throw SocketError("resolve " + host + ": " + gai_strerror(rc));
+  }
+  SocketError last("bind " + host + ": no addresses");
+  for (struct addrinfo* a = res; a != nullptr; a = a->ai_next) {
+    const int fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
+    if (fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, a->ai_addr, a->ai_addrlen) == 0 &&
+        ::listen(fd, backlog) == 0) {
+      ::freeaddrinfo(res);
+      return Socket(fd);
+    }
+    last = SocketError("bind " + host + ":" + std::to_string(port) + ": " +
+                       std::strerror(errno));
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  throw last;
+}
+
+Socket listen_unix(const std::string& path, int backlog) {
+  const struct sockaddr_un addr = unix_address(path);
+  ::unlink(path.c_str());  // a stale file from a dead daemon blocks bind
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  if (::bind(fd, reinterpret_cast<const struct sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    const SocketError e("bind " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    throw e;
+  }
+  return Socket(fd);
+}
+
+int local_tcp_port(const Socket& listener) {
+  struct sockaddr_storage ss = {};
+  socklen_t len = sizeof(ss);
+  if (::getsockname(listener.fd(), reinterpret_cast<struct sockaddr*>(&ss),
+                    &len) != 0) {
+    throw_errno("getsockname");
+  }
+  if (ss.ss_family == AF_INET) {
+    return ntohs(reinterpret_cast<struct sockaddr_in*>(&ss)->sin_port);
+  }
+  if (ss.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<struct sockaddr_in6*>(&ss)->sin6_port);
+  }
+  throw SocketError("local_tcp_port on a non-TCP socket");
+}
+
+Socket accept_connection(Socket& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    throw_errno("accept");
+  }
+}
+
+}  // namespace mstep::serve

@@ -1,0 +1,76 @@
+// Thin RAII layer over POSIX stream sockets for the serve subsystem.
+//
+// Both transports the daemon speaks — TCP (loopback or routed) and
+// Unix-domain — come through this one wrapper, so the server loop and the
+// client library share the exact read_exact/write_all framing primitives
+// and never touch a raw fd.  Errors surface as SocketError with the
+// errno text attached; a cleanly closed peer is reported distinctly
+// (read_exact returns false at a frame boundary) so connection teardown
+// is not an error path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace mstep::serve {
+
+class SocketError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One connected (or listening) stream socket.  Move-only owner of the fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  void close();
+
+  /// Write the whole buffer (retrying short writes / EINTR); throws
+  /// SocketError when the peer is gone.
+  void write_all(const char* data, std::size_t len);
+  void write_all(const std::string& data) {
+    write_all(data.data(), data.size());
+  }
+
+  /// Read exactly `len` bytes.  Returns false if the peer closed the
+  /// connection cleanly BEFORE the first byte (normal end of a framed
+  /// conversation); throws SocketError on mid-buffer EOF or I/O errors.
+  [[nodiscard]] bool read_exact(char* out, std::size_t len);
+
+  /// Block until the socket is readable, at most `timeout_ms` (< 0 means
+  /// forever).  Returns false on timeout.
+  [[nodiscard]] bool wait_readable(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Client side: connect to a TCP host:port or a Unix-domain path.
+[[nodiscard]] Socket connect_tcp(const std::string& host, int port);
+[[nodiscard]] Socket connect_unix(const std::string& path);
+
+/// Server side: bound + listening sockets.  TCP port 0 binds an ephemeral
+/// port — read it back with local_tcp_port().  listen_unix unlinks a
+/// stale socket file first and is unlinked again by the caller on
+/// shutdown.
+[[nodiscard]] Socket listen_tcp(const std::string& host, int port,
+                                int backlog = 64);
+[[nodiscard]] Socket listen_unix(const std::string& path, int backlog = 64);
+[[nodiscard]] int local_tcp_port(const Socket& listener);
+
+/// Accept one pending connection (listener must be readable).
+[[nodiscard]] Socket accept_connection(Socket& listener);
+
+}  // namespace mstep::serve

@@ -1,15 +1,25 @@
 #!/usr/bin/env python3
-"""Validate an mstep_solve JSON report against the driver schema.
+"""Validate mstep JSON artifacts against their schemas.
 
-CI's driver-smoke steps run mstep_solve on a catalog problem and on a
-Matrix Market fixture, then feed the --out report through this script
-(the check_bench.py-style schema check for single reports):
+CI's smoke steps run the tools, then feed every JSON artifact through
+this script (the check_bench.py-style schema check for single
+documents):
 
     tools/check_report.py report.json --require converged=true
+    tools/check_report.py metrics.json --schema metrics
+    tools/check_report.py reply.json --schema request --require cache=hit
+    tools/check_report.py BENCH_served.json --schema served
 
-The report must be a JSON object containing every field report_json()
-emits, with the right JSON types; --require NAME=VALUE additionally
-asserts an exact (stringified, case-insensitive) field value.
+--schema picks the contract: `report` (default) is mstep_solve's --out
+document, `request` is mstep_request's --out document, `metrics` is the
+mstep_served metrics snapshot (also what --metrics-out flushes on
+graceful shutdown), and `served` is bench_served's BENCH_served.json —
+an ARRAY of workload rows, each validated against the row schema.
+
+Nested documents use dotted field paths ("cache.hit_rate"); --require
+NAME=VALUE asserts an exact (stringified, case-insensitive) value at
+such a path.  The document must contain every schema field with the
+right JSON type.
 
 Exit codes: 0 ok, 1 schema/requirement failure, 2 usage or I/O error.
 """
@@ -27,8 +37,8 @@ def die(message):
 
 # Field -> accepted JSON types.  None means nullable (e.g. a failed RHS
 # has no iteration count; error_vs_exact is null when no exact solution
-# is known).
-SCHEMA = {
+# is known).  Dotted names reach into nested objects.
+REPORT_SCHEMA = {
     "tool": (str,),
     "source": (str,),
     "problem": (str,),
@@ -53,32 +63,110 @@ SCHEMA = {
     "error_vs_exact": (int, float, type(None)),
 }
 
+# mstep_request --out: the client-side record of one served solve.
+REQUEST_SCHEMA = {
+    "tool": (str,),
+    "endpoint": (str,),
+    "retcode": (int,),
+    "retcode_name": (str,),
+    "message": (str,),
+    "cache": (str,),
+    "fingerprint": (str,),
+    "config": (str,),
+    "format_selected": (str,),
+    "nrhs": (int,),
+    "converged": (bool,),
+    "iterations": (list,),
+    "final_delta_inf": (list,),
+    "rhs_errors": (list,),
+    "setup_seconds": (int, float),
+    "solve_seconds": (int, float),
+    "e2e_seconds": (int, float),
+    "attempts": (int,),
+}
 
-def main(argv):
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("report")
-    ap.add_argument("--require", action="append", default=[],
-                    metavar="NAME=VALUE",
-                    help="exact field check (repeatable)")
-    args = ap.parse_args(argv)
+# mstep_served metrics reply / --metrics-out snapshot (docs/protocol.md).
+METRICS_SCHEMA = {
+    "tool": (str,),
+    "uptime_seconds": (int, float),
+    "queue_depth": (int,),
+    "max_inflight": (int,),
+    "requests.solve": (int,),
+    "requests.metrics": (int,),
+    "requests.shutdown": (int,),
+    "requests.errors": (int,),
+    "requests.busy_rejections": (int,),
+    "cache.entries": (int,),
+    "cache.bytes": (int,),
+    "cache.capacity_bytes": (int,),
+    "cache.hits": (int,),
+    "cache.misses": (int,),
+    "cache.evictions": (int,),
+    "cache.hit_rate": (int, float),
+    "latency_solve_seconds.count": (int,),
+    "latency_solve_seconds.mean": (int, float),
+    "latency_solve_seconds.max": (int, float),
+    "latency_solve_seconds.p50": (int, float),
+    "latency_solve_seconds.p99": (int, float),
+    "latency_request_seconds.count": (int,),
+    "latency_request_seconds.mean": (int, float),
+    "latency_request_seconds.max": (int, float),
+    "latency_request_seconds.p50": (int, float),
+    "latency_request_seconds.p99": (int, float),
+}
 
-    try:
-        with open(args.report) as f:
-            report = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        die(f"check_report: cannot read {args.report}: {e}")
-    if not isinstance(report, dict):
-        die(f"check_report: {args.report} is not a JSON object")
+# One bench_served workload row (BENCH_served.json is an array of these).
+SERVED_ROW_SCHEMA = {
+    "tool": (str,),
+    "workload": (str,),
+    "clients": (int,),
+    "requests_per_client": (int,),
+    "requests_total": (int,),
+    "wall_seconds": (int, float),
+    "throughput_rps": (int, float),
+    "mean_ms": (int, float),
+    "p50_ms": (int, float),
+    "p99_ms": (int, float),
+    "cache_hit_rate": (int, float),
+    "busy_retries": (int,),
+    "converged": (bool,),
+    "bitwise_match_direct": (bool,),
+}
 
-    failures = []
-    for name, types in SCHEMA.items():
-        if name not in report:
-            failures.append(f"missing field '{name}'")
+SCHEMAS = {
+    "report": REPORT_SCHEMA,
+    "request": REQUEST_SCHEMA,
+    "metrics": METRICS_SCHEMA,
+    "served": SERVED_ROW_SCHEMA,
+}
+
+_MISSING = object()
+
+
+def lookup(document, dotted):
+    """Resolve a dotted path in nested dicts; _MISSING when absent."""
+    node = document
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return _MISSING
+        node = node[part]
+    return node
+
+
+def check_fields(document, schema, failures, where=""):
+    for name, types in schema.items():
+        value = lookup(document, name)
+        if value is _MISSING:
+            failures.append(f"{where}missing field '{name}'")
         # bool is an int subclass in Python; require exact type matches.
-        elif not any(type(report[name]) is t for t in types):
+        elif not any(type(value) is t for t in types):
             failures.append(
-                f"field '{name}' has type {type(report[name]).__name__}, "
+                f"{where}field '{name}' has type {type(value).__name__}, "
                 f"wanted one of {[t.__name__ for t in types]}")
+
+
+def check_report_extras(report, failures):
+    """Cross-field checks specific to the mstep_solve report."""
     for name in ("iterations", "final_delta_inf", "rhs_errors"):
         if isinstance(report.get(name), list):
             if len(report[name]) != report.get("nrhs"):
@@ -99,15 +187,77 @@ def main(argv):
             "config requested format=auto but the report does not say "
             "which format was selected")
 
+
+def check_metrics_extras(metrics, failures):
+    """Sanity relations the metrics snapshot must satisfy."""
+    hits = lookup(metrics, "cache.hits")
+    misses = lookup(metrics, "cache.misses")
+    rate = lookup(metrics, "cache.hit_rate")
+    if all(isinstance(v, (int, float)) and v is not _MISSING
+           for v in (hits, misses, rate)):
+        total = hits + misses
+        expect = hits / total if total else 0.0
+        if abs(rate - expect) > 1e-9:
+            failures.append(
+                f"cache.hit_rate = {rate}, but hits/misses say {expect}")
+    depth = lookup(metrics, "queue_depth")
+    limit = lookup(metrics, "max_inflight")
+    if type(depth) is int and type(limit) is int and depth > limit:
+        failures.append(f"queue_depth {depth} exceeds max_inflight {limit}")
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("report")
+    ap.add_argument("--schema", choices=sorted(SCHEMAS), default="report",
+                    help="which artifact contract to check (default: "
+                         "report)")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="NAME=VALUE",
+                    help="exact field check, dotted paths ok (repeatable)")
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.report) as f:
+            document = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"check_report: cannot read {args.report}: {e}")
+
+    schema = SCHEMAS[args.schema]
+    failures = []
+    if args.schema == "served":
+        # An array of workload rows; --require applies to every row.
+        if not isinstance(document, list) or not document:
+            die(f"check_report: {args.report} is not a non-empty JSON array")
+        for i, row in enumerate(document):
+            where = f"row {i}: "
+            if not isinstance(row, dict):
+                failures.append(f"{where}not a JSON object")
+                continue
+            check_fields(row, schema, failures, where)
+        documents = [(f"row {i}: ", row) for i, row in enumerate(document)
+                     if isinstance(row, dict)]
+    else:
+        if not isinstance(document, dict):
+            die(f"check_report: {args.report} is not a JSON object")
+        check_fields(document, schema, failures)
+        if args.schema == "report":
+            check_report_extras(document, failures)
+        elif args.schema == "metrics":
+            check_metrics_extras(document, failures)
+        documents = [("", document)]
+
     for spec in args.require:
         name, eq, value = spec.partition("=")
         if not eq:
             die(f"check_report: require '{spec}' needs NAME=VALUE")
-        got = str(report.get(name)).lower()
-        if got != value.lower():
-            failures.append(f"{name} = {got}, required {value}")
+        for where, doc in documents:
+            got = lookup(doc, name)
+            got = "missing" if got is _MISSING else str(got).lower()
+            if got != value.lower():
+                failures.append(f"{where}{name} = {got}, required {value}")
 
-    print(f"check_report: {len(SCHEMA)} schema fields, "
+    print(f"check_report: schema '{args.schema}', {len(schema)} fields, "
           f"{len(args.require)} requirement(s), {len(failures)} failure(s) "
           f"({args.report})")
     for f in failures:

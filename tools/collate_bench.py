@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Collate BENCH_*.json files into one perf-over-time table.
+
+Every bench harness emits a JSON array of flat workload rows
+(BENCH_batch.json, BENCH_scaling.json, BENCH_served.json, ...).  This
+script merges any number of them — typically the committed baselines
+plus the artifacts of one or more CI runs — into one table per bench,
+so a perf change reads as adjacent rows instead of a diff across files:
+
+    tools/collate_bench.py bench/baselines/*.json run1/BENCH_*.json
+    tools/collate_bench.py --markdown --out summary.md \\
+        --label baseline bench/baselines/BENCH_batch.json \\
+        --label candidate BENCH_batch.json
+
+Rows are grouped by bench (the file's BENCH_<name> stem), labelled by
+--label in file order (default: the file's parent directory, or the
+stem), and printed with the union of scalar columns in first-seen
+order.  --markdown writes GitHub-flavoured tables (for
+$GITHUB_STEP_SUMMARY); the default is aligned ASCII.  Use
+check_bench.py, not this, to FAIL on a regression — collation is for
+eyes, the gate is for exit codes.
+
+Exit codes: 0 ok, 2 usage or I/O error (an empty input set is an
+error: a collation of nothing hides a bench that stopped emitting).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def die(message):
+    print(message, file=sys.stderr)
+    sys.exit(2)
+
+
+def bench_name(path):
+    """BENCH_batch.json -> batch; anything else keeps its stem."""
+    stem = os.path.splitext(os.path.basename(path))[0]
+    return stem[len("BENCH_"):] if stem.startswith("BENCH_") else stem
+
+
+def default_label(path):
+    parent = os.path.basename(os.path.dirname(os.path.abspath(path)))
+    return parent or os.path.splitext(os.path.basename(path))[0]
+
+
+def load_rows(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"collate_bench: cannot read {path}: {e}")
+    if isinstance(data, dict):
+        data = [data]
+    if not isinstance(data, list) or not all(
+            isinstance(r, dict) for r in data):
+        die(f"collate_bench: {path} is not a JSON array of objects")
+    return data
+
+
+def fmt(value):
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def render_ascii(columns, rows, title):
+    widths = [max(len(c), max((len(r[i]) for r in rows), default=0))
+              for i, c in enumerate(columns)]
+    rule = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = [f"== {title} ==", rule,
+             "| " + " | ".join(c.ljust(w) for c, w in zip(columns, widths))
+             + " |", rule]
+    lines += ["| " + " | ".join(v.ljust(w) for v, w in zip(r, widths)) + " |"
+              for r in rows]
+    lines.append(rule)
+    return "\n".join(lines) + "\n"
+
+
+def render_markdown(columns, rows, title):
+    lines = [f"### {title}", "",
+             "| " + " | ".join(columns) + " |",
+             "| " + " | ".join("---" for _ in columns) + " |"]
+    lines += ["| " + " | ".join(r) + " |" for r in rows]
+    return "\n".join(lines) + "\n"
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="+", metavar="BENCH.json")
+    ap.add_argument("--label", action="append", default=[],
+                    help="label for the Nth file (repeatable; default: "
+                         "the file's parent directory)")
+    ap.add_argument("--markdown", action="store_true",
+                    help="GitHub-flavoured tables instead of ASCII")
+    ap.add_argument("--out", help="also write the tables to this file")
+    args = ap.parse_args(argv)
+    if len(args.label) > len(args.files):
+        die("collate_bench: more --label values than files")
+
+    # bench name -> (column order, [row dicts with 'source' first])
+    benches = {}
+    for i, path in enumerate(args.files):
+        label = args.label[i] if i < len(args.label) else default_label(path)
+        name = bench_name(path)
+        columns, rows = benches.setdefault(name, (["source"], []))
+        for row in load_rows(path):
+            for key, value in row.items():
+                if key == "tool" or isinstance(value, (list, dict)):
+                    continue  # scalar columns only; 'tool' repeats the stem
+                if key not in columns:
+                    columns.append(key)
+            rows.append({"source": label, **row})
+    if not benches:
+        die("collate_bench: nothing to collate")
+
+    render = render_markdown if args.markdown else render_ascii
+    out = []
+    for name in sorted(benches):
+        columns, rows = benches[name]
+        table = [[fmt(r.get(c, None)) for c in columns] for r in rows]
+        out.append(render(columns, table, f"bench: {name}"))
+    text = "\n".join(out)
+    print(text, end="")
+    if args.out:
+        try:
+            with open(args.out, "w") as f:
+                f.write(text)
+        except OSError as e:
+            die(f"collate_bench: cannot write {args.out}: {e}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
