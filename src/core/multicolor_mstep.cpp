@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "la/simd.hpp"
+
 namespace mstep::core {
 
 MulticolorMStepSsor::MulticolorMStepSsor(const color::ColoredSystem& cs,
@@ -18,24 +20,30 @@ MulticolorMStepSsor::MulticolorMStepSsor(const color::ColoredSystem& cs,
       color::compute_class_diagonal_census(cs, splits_);
   ndiags_lower_ = census.lower;
   ndiags_upper_ = census.upper;
-}
 
-double MulticolorMStepSsor::lower_sum(index_t i, const Vec& z) const {
-  const auto& rp = cs_->matrix.row_ptr();
-  const auto& col = cs_->matrix.col_idx();
-  const auto& val = cs_->matrix.values();
-  double s = 0.0;
-  for (index_t t = rp[i]; t < splits_.lo_end[i]; ++t) s -= val[t] * z[col[t]];
-  return s;
-}
-
-double MulticolorMStepSsor::upper_sum(index_t i, const Vec& z) const {
-  const auto& rp = cs_->matrix.row_ptr();
-  const auto& col = cs_->matrix.col_idx();
-  const auto& val = cs_->matrix.values();
-  double s = 0.0;
-  for (index_t t = splits_.up_begin[i]; t < rp[i + 1]; ++t) s -= val[t] * z[col[t]];
-  return s;
+  // Slice each class's strictly-lower / strictly-upper row segments into
+  // SELL layout once.  The sweep then sums them 4 rows at a time through
+  // simd::sell_neg_slices — bitwise -row_dot(segment) per row (the SELL
+  // lanes replay row_dot's schedule and negation commutes with rounding),
+  // but vectorized ACROSS the rows of a class, which the multicolor
+  // ordering makes independent.  The parallel sweep
+  // (par/colored_sweep.cpp) runs the identical kernel over slice ranges,
+  // which is what keeps serial == threaded == SIMD-on == SIMD-off.
+  const auto& rp = cs.matrix.row_ptr();
+  const int nc = cs.num_classes();
+  lower_.reserve(nc);
+  upper_.reserve(nc);
+  for (int c = 0; c < nc; ++c) {
+    lower_.push_back(la::SellSegments::build(cs.matrix, rp.data(),
+                                             splits_.lo_end.data(),
+                                             cs.class_start[c],
+                                             cs.class_start[c + 1]));
+    upper_.push_back(la::SellSegments::build(cs.matrix,
+                                             splits_.up_begin.data(),
+                                             rp.data() + 1,
+                                             cs.class_start[c],
+                                             cs.class_start[c + 1]));
+  }
 }
 
 void MulticolorMStepSsor::apply(const Vec& r, Vec& z) const {
@@ -46,6 +54,7 @@ void MulticolorMStepSsor::apply(const Vec& r, Vec& z) const {
 
   z.assign(n, 0.0);
   y_.assign(n, 0.0);
+  xl_.resize(n);  // written per class before it is read
 
   auto log_class = [&](int c, bool lower) {
     if (!log_) return;
@@ -60,9 +69,12 @@ void MulticolorMStepSsor::apply(const Vec& r, Vec& z) const {
     // Forward half-sweep.  For class 0 this doubles as the deferred
     // backward update of the previous step (y holds its upper sums).
     for (int c = 0; c < nc; ++c) {
+      const la::SellSegments& segs = lower_[c];
+      la::simd::sell_neg_slices(segs.view(), z.data(), xl_.data(), 0,
+                                segs.num_slices());
       for (index_t i = cs_->class_start[c]; i < cs_->class_start[c + 1];
            ++i) {
-        const double xl = lower_sum(i, z);
+        const double xl = xl_[i];
         z[i] = (xl + y_[i] + a * r[i]) / splits_.diag[i];
         // The last class has no upper couplings: its "saved" value for the
         // next use must be the (empty) upper sum, not the lower sum.
@@ -74,19 +86,22 @@ void MulticolorMStepSsor::apply(const Vec& r, Vec& z) const {
     // (its backward value equals the forward value just computed); class 0
     // is deferred (see below).
     for (int c = nc - 2; c >= 1; --c) {
+      const la::SellSegments& segs = upper_[c];
+      la::simd::sell_neg_slices(segs.view(), z.data(), xl_.data(), 0,
+                                segs.num_slices());
       for (index_t i = cs_->class_start[c]; i < cs_->class_start[c + 1];
            ++i) {
-        const double xu = upper_sum(i, z);
+        const double xu = xl_[i];
         z[i] = (xu + y_[i] + a * r[i]) / splits_.diag[i];
         y_[i] = xu;
       }
       log_class(c, /*lower=*/false);
     }
-    // Class 0: save its upper sums; the solve is deferred to the next
-    // forward pass (inner steps) or the final solve below (last step).
-    for (index_t i = cs_->class_start[0]; i < cs_->class_start[1]; ++i) {
-      y_[i] = upper_sum(i, z);
-    }
+    // Class 0: save its upper sums (scattered straight into y); the solve
+    // is deferred to the next forward pass (inner steps) or the final
+    // solve below (last step).
+    la::simd::sell_neg_slices(upper_[0].view(), z.data(), y_.data(), 0,
+                              upper_[0].num_slices());
     if (log_) {
       log_->spmv_diagonals(cs_->class_size(0), ndiags_upper_[0]);
       log_->end_precond_step();

@@ -29,6 +29,7 @@
 #include "color/coloring.hpp"
 #include "core/kernel_log.hpp"
 #include "core/preconditioner.hpp"
+#include "la/sell_matrix.hpp"
 
 namespace mstep::core {
 
@@ -52,11 +53,6 @@ class MulticolorMStepSsor : public Preconditioner {
   [[nodiscard]] long long offdiag_traversals_per_apply() const;
 
  private:
-  // Lower sum  -sum_{j in classes < c} K_ij z_j  for row i.
-  [[nodiscard]] double lower_sum(index_t i, const Vec& z) const;
-  // Upper sum  -sum_{j in classes > c} K_ij z_j  for row i.
-  [[nodiscard]] double upper_sum(index_t i, const Vec& z) const;
-
   const color::ColoredSystem* cs_;
   std::vector<double> alphas_;
   KernelLog* log_;
@@ -64,7 +60,13 @@ class MulticolorMStepSsor : public Preconditioner {
   color::RowSplits splits_;        // diagonal + lower/upper row split points
   std::vector<int> ndiags_lower_;  // per class: diagonal count of lower block
   std::vector<int> ndiags_upper_;  // per class: diagonal count of upper block
-  mutable Vec y_;                  // Conrad–Wallach auxiliary vector
+  // Per class: the strictly-lower / strictly-upper row segments in SELL
+  // slices, summed 4 rows at a time by simd::sell_neg_slices — bitwise
+  // -row_dot per row, but vectorized ACROSS the class's independent rows.
+  std::vector<la::SellSegments> lower_;
+  std::vector<la::SellSegments> upper_;
+  mutable Vec y_;   // Conrad–Wallach auxiliary vector
+  mutable Vec xl_;  // scratch: the current class's scattered sums
 };
 
 }  // namespace mstep::core

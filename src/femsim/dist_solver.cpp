@@ -9,6 +9,7 @@
 
 #include "core/mstep.hpp"
 #include "core/params.hpp"
+#include "la/simd.hpp"
 
 namespace mstep::femsim {
 
@@ -181,23 +182,43 @@ DistResult DistributedPlateSolver::solve_with_traffic(
         }
       }
     };
+    // Row sums through the library's fixed-4-lane kernel and dots through
+    // la::dot's fixed-block 8-lane schedule (term i -> block
+    // i / kReductionBlock, lane i mod 8, blocks summed in order): with one
+    // processor these ARE the sequential library kernels, which is what
+    // keeps the P=1 solve bitwise identical to core::pcg_solve.
     auto lower_sum = [&](index_t i, const Vec& v) {
-      double s = 0.0;
-      for (index_t t = rp[i]; t < splits_.lo_end[i]; ++t) s -= val[t] * v[col[t]];
-      return s;
+      return -la::simd::row_dot(val.data(), col.data(), v.data(), rp[i],
+                                splits_.lo_end[i]);
     };
     auto upper_sum = [&](index_t i, const Vec& v) {
-      double s = 0.0;
-      for (index_t t = splits_.up_begin[i]; t < rp[i + 1]; ++t) {
-        s -= val[t] * v[col[t]];
-      }
-      return s;
+      return -la::simd::row_dot(val.data(), col.data(), v.data(),
+                                splits_.up_begin[i], rp[i + 1]);
     };
     auto local_dot = [&](const Vec& x, const Vec& yv) {
-      double s = 0.0;
-      for (index_t i : pd.owned) s += x[i] * yv[i];
+      double total = 0.0;
+      double lane[la::simd::kDotLanes] = {};
+      index_t block = 0;
+      bool open = false;
+      auto flush = [&] {
+        double s = lane[0];
+        for (std::size_t l = 1; l < la::simd::kDotLanes; ++l) s += lane[l];
+        total += s;
+        std::fill(std::begin(lane), std::end(lane), 0.0);
+      };
+      for (index_t i : pd.owned) {  // ascending
+        const index_t b = i / la::kReductionBlock;
+        if (open && b != block) flush();
+        block = b;
+        open = true;
+        // kReductionBlock is a multiple of kDotLanes, so the in-block lane
+        // of term i is simply i mod kDotLanes.
+        lane[static_cast<std::size_t>(i) % la::simd::kDotLanes] +=
+            x[i] * yv[i];
+      }
+      if (open) flush();
       proc.compute(2 * static_cast<long long>(pd.owned.size()));
-      return s;
+      return total;
     };
 
     // Algorithm 3: z = M^{-1} r with the Conrad–Wallach auxiliary vector
@@ -260,11 +281,10 @@ DistResult DistributedPlateSolver::solve_with_traffic(
     for (int it = 0; it < options.max_iterations; ++it) {
       // Border p values, one record per neighbour (all colours at once).
       exchange_all(p, /*tag=*/1);
-      // w = K p on owned rows.
+      // w = K p on owned rows — the CSR SpMV row kernel.
       for (index_t i : pd.owned) {
-        double s = 0.0;
-        for (index_t t = rp[i]; t < rp[i + 1]; ++t) s += val[t] * p[col[t]];
-        w[i] = s;
+        w[i] = la::simd::row_dot(val.data(), col.data(), p.data(), rp[i],
+                                 rp[i + 1]);
       }
       proc.compute(2 * pd.nnz_owned);
 

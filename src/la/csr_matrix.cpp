@@ -1,6 +1,8 @@
 #include "la/csr_matrix.hpp"
 
 #include <algorithm>
+
+#include "la/simd.hpp"
 #include <cassert>
 #include <cmath>
 #include <cstdlib>
@@ -33,25 +35,15 @@ double CsrMatrix::at(index_t i, index_t j) const {
 void CsrMatrix::multiply(const Vec& x, Vec& y) const {
   assert(static_cast<index_t>(x.size()) == cols_);
   y.resize(rows_);
-  for (index_t i = 0; i < rows_; ++i) {
-    double s = 0.0;
-    for (index_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      s += val_[k] * x[col_[k]];
-    }
-    y[i] = s;
-  }
+  simd::csr_spmv_rows(row_ptr_.data(), col_.data(), val_.data(), x.data(),
+                      y.data(), 0, rows_, /*subtract=*/false);
 }
 
 void CsrMatrix::multiply_sub(const Vec& x, Vec& y) const {
   assert(static_cast<index_t>(x.size()) == cols_);
   assert(static_cast<index_t>(y.size()) == rows_);
-  for (index_t i = 0; i < rows_; ++i) {
-    double s = 0.0;
-    for (index_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      s += val_[k] * x[col_[k]];
-    }
-    y[i] -= s;
-  }
+  simd::csr_spmv_rows(row_ptr_.data(), col_.data(), val_.data(), x.data(),
+                      y.data(), 0, rows_, /*subtract=*/true);
 }
 
 void CsrMatrix::residual(const Vec& b, const Vec& x, Vec& r) const {

@@ -1,6 +1,8 @@
 #include "la/dia_matrix.hpp"
 
 #include <algorithm>
+
+#include "la/simd.hpp"
 #include <cassert>
 #include <map>
 #include <stdexcept>
@@ -52,7 +54,8 @@ void DiaMatrix::multiply(const Vec& x, Vec& y) const {
     const index_t lo = std::max<index_t>(0, -off);
     const index_t hi = std::min<index_t>(n_, n_ - off);
     // Unit-stride triad: y[i] += v[i] * x[i + off]  — the vectorizable form.
-    for (index_t i = lo; i < hi; ++i) y[i] += v[i] * x[i + off];
+    simd::dia_triad(v.data(), x.data(), y.data(), lo, hi, off,
+                    /*subtract=*/false);
   }
 }
 
@@ -64,7 +67,8 @@ void DiaMatrix::multiply_sub(const Vec& x, Vec& y) const {
     const std::vector<double>& v = diag_[d];
     const index_t lo = std::max<index_t>(0, -off);
     const index_t hi = std::min<index_t>(n_, n_ - off);
-    for (index_t i = lo; i < hi; ++i) y[i] -= v[i] * x[i + off];
+    simd::dia_triad(v.data(), x.data(), y.data(), lo, hi, off,
+                    /*subtract=*/true);
   }
 }
 

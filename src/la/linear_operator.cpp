@@ -36,4 +36,14 @@ void DiaOperator::multiply_sub(const Vec& x, Vec& y,
   exec.spmv_sub(*a_, x, y);
 }
 
+void SellOperator::multiply(const Vec& x, Vec& y,
+                            const par::Execution& exec) const {
+  exec.spmv(*a_, x, y);
+}
+
+void SellOperator::multiply_sub(const Vec& x, Vec& y,
+                                const par::Execution& exec) const {
+  exec.spmv_sub(*a_, x, y);
+}
+
 }  // namespace mstep::la

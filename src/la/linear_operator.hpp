@@ -10,6 +10,7 @@
 
 #include "la/csr_matrix.hpp"
 #include "la/dia_matrix.hpp"
+#include "la/sell_matrix.hpp"
 #include "la/vector.hpp"
 
 namespace mstep::par {
@@ -99,6 +100,29 @@ class DiaOperator final : public LinearOperator {
 
  private:
   const DiaMatrix* a_;
+};
+
+/// SELL-C-sigma-backed view (the SIMD-sliced layout).  Bitwise identical
+/// to CsrOperator — the sliced kernel reproduces the CSR row-sum schedule.
+class SellOperator final : public LinearOperator {
+ public:
+  explicit SellOperator(const SellMatrix& a) : a_(&a) {}
+
+  [[nodiscard]] index_t rows() const override { return a_->rows(); }
+  void multiply(const Vec& x, Vec& y) const override { a_->multiply(x, y); }
+  void multiply_sub(const Vec& x, Vec& y) const override {
+    a_->multiply_sub(x, y);
+  }
+  void multiply(const Vec& x, Vec& y,
+                const par::Execution& exec) const override;
+  void multiply_sub(const Vec& x, Vec& y,
+                    const par::Execution& exec) const override;
+  [[nodiscard]] index_t num_nonzero_diagonals() const override {
+    return a_->num_nonzero_diagonals();
+  }
+
+ private:
+  const SellMatrix* a_;
 };
 
 }  // namespace mstep::la

@@ -4,38 +4,38 @@
 #include <cassert>
 #include <cmath>
 
+#include "la/simd.hpp"
+
+// Every BLAS-1 kernel delegates to the SIMD layer (la/simd.hpp): one
+// runtime-dispatched implementation — portable twin or AVX2, bitwise
+// identical — serves the serial path here and the threaded chunks in
+// par::Execution alike.
+
 namespace mstep::la {
 
 void axpy(double a, const Vec& x, Vec& y) {
   assert(x.size() == y.size());
-  const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+  simd::axpy(a, x.data(), y.data(), x.size());
 }
 
 void xpay(const Vec& x, double b, Vec& y) {
   assert(x.size() == y.size());
-  const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) y[i] = x[i] + b * y[i];
+  simd::xpay(x.data(), b, y.data(), x.size());
 }
 
 void waxpby(double a, const Vec& x, double b, const Vec& y, Vec& w) {
   assert(x.size() == y.size());
   w.resize(x.size());
-  const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) w[i] = a * x[i] + b * y[i];
+  simd::waxpby(a, x.data(), b, y.data(), w.data(), x.size());
 }
 
-void scale(double a, Vec& x) {
-  for (auto& v : x) v *= a;
-}
+void scale(double a, Vec& x) { simd::scale_copy(a, x.data(), x.data(), x.size()); }
 
 namespace detail {
 
 double dot_range(const Vec& x, const Vec& y, std::size_t begin,
                  std::size_t end) {
-  double s = 0.0;
-  for (std::size_t i = begin; i < end; ++i) s += x[i] * y[i];
-  return s;
+  return simd::dot_block(x.data() + begin, y.data() + begin, end - begin);
 }
 
 }  // namespace detail
@@ -73,22 +73,19 @@ void fill(Vec& x, double value) {
 void sub(const Vec& x, const Vec& y, Vec& w) {
   assert(x.size() == y.size());
   w.resize(x.size());
-  const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) w[i] = x[i] - y[i];
+  simd::vsub(x.data(), y.data(), w.data(), x.size());
 }
 
 void add(const Vec& x, const Vec& y, Vec& w) {
   assert(x.size() == y.size());
   w.resize(x.size());
-  const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) w[i] = x[i] + y[i];
+  simd::vadd(x.data(), y.data(), w.data(), x.size());
 }
 
 void hadamard(const Vec& x, const Vec& y, Vec& w) {
   assert(x.size() == y.size());
   w.resize(x.size());
-  const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) w[i] = x[i] * y[i];
+  simd::hadamard(x.data(), y.data(), w.data(), x.size());
 }
 
 }  // namespace mstep::la

@@ -23,16 +23,17 @@ using Vec = std::vector<double>;
 namespace la {
 
 /// Reduction block length shared by the serial kernels and the threaded
-/// execution engine (par::Execution).  dot() sums each block left-to-right
-/// and combines the block partials in block order, so a parallel reduction
-/// that computes the same per-block partials reproduces the serial result
-/// BITWISE for any thread count.  For n <= kReductionBlock the blocked sum
-/// degenerates to the plain left-to-right sum.
+/// execution engine (par::Execution).  dot() computes each block with the
+/// fixed 8-lane schedule of la/simd.hpp (bitwise identical on the scalar
+/// and AVX2 paths) and combines the block partials in block order, so a
+/// parallel reduction that computes the same per-block partials reproduces
+/// the serial result BITWISE for any thread count.  A multiple of
+/// simd::kDotLanes, so lane phase is consistent across block boundaries.
 inline constexpr std::size_t kReductionBlock = 1024;
 
 namespace detail {
-/// Plain left-to-right partial sum of x[i] * y[i] over [begin, end) — the
-/// per-block kernel of the deterministic reduction.
+/// Fixed-8-lane partial sum of x[i] * y[i] over [begin, end) — the
+/// per-block kernel of the deterministic reduction (simd::dot_block).
 [[nodiscard]] double dot_range(const Vec& x, const Vec& y, std::size_t begin,
                                std::size_t end);
 }  // namespace detail

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "la/simd.hpp"
+
 namespace mstep::par {
 
 ParallelMulticolorMStepSsor::ParallelMulticolorMStepSsor(
@@ -14,6 +16,23 @@ ParallelMulticolorMStepSsor::ParallelMulticolorMStepSsor(
   if (alphas_.empty()) {
     throw std::invalid_argument("ParallelMulticolorMStepSsor: need m >= 1");
   }
+  // The same per-class SELL segment slices as the serial sweep — the
+  // kernel is identical, only the slice range is partitioned by the pool.
+  const auto& rp = cs.matrix.row_ptr();
+  const int nc = cs.num_classes();
+  lower_.reserve(nc);
+  upper_.reserve(nc);
+  for (int c = 0; c < nc; ++c) {
+    lower_.push_back(la::SellSegments::build(cs.matrix, rp.data(),
+                                             splits_.lo_end.data(),
+                                             cs.class_start[c],
+                                             cs.class_start[c + 1]));
+    upper_.push_back(la::SellSegments::build(cs.matrix,
+                                             splits_.up_begin.data(),
+                                             rp.data() + 1,
+                                             cs.class_start[c],
+                                             cs.class_start[c + 1]));
+  }
 }
 
 void ParallelMulticolorMStepSsor::apply(const Vec& r, Vec& z) const {
@@ -24,11 +43,21 @@ void ParallelMulticolorMStepSsor::apply(const Vec& r, Vec& z) const {
 
   z.assign(n, 0.0);
   y_.assign(n, 0.0);
-
-  const auto& rp = cs_->matrix.row_ptr();
-  const auto& col = cs_->matrix.col_idx();
-  const auto& val = cs_->matrix.values();
+  xl_.resize(n);  // written per class before it is read
   Vec& y = y_;
+  Vec& xl = xl_;
+
+  // One class phase = sum the class's SELL segment slices into scratch
+  // (slices partitioned over the pool; every slot writes a distinct row),
+  // barrier, then the elementwise solve/save updates (rows partitioned).
+  // Both steps are race-free and order-independent, so the threaded sweep
+  // is bitwise the serial one.
+  auto class_sums = [&](const la::SellSegments& segs, const Vec& zin,
+                        Vec& out) {
+    pool_->for_range(0, segs.num_slices(), [&](index_t b, index_t e) {
+      la::simd::sell_neg_slices(segs.view(), zin.data(), out.data(), b, e);
+    });
+  };
 
   // Emitted from the calling thread after each class sweep — the exact
   // stream of the serial MulticolorMStepSsor.
@@ -44,46 +73,31 @@ void ParallelMulticolorMStepSsor::apply(const Vec& r, Vec& z) const {
     const double a = alphas_[m - s];
     for (int c = 0; c < nc; ++c) {
       const bool last = c == nc - 1;
+      class_sums(lower_[c], z, xl);
       pool_->for_range(
           cs_->class_start[c], cs_->class_start[c + 1],
           [&, a, last](index_t b, index_t e) {
             for (index_t i = b; i < e; ++i) {
-              double xl = 0.0;
-              for (index_t t = rp[i]; t < splits_.lo_end[i]; ++t) {
-                xl -= val[t] * z[col[t]];
-              }
-              z[i] = (xl + y[i] + a * r[i]) / splits_.diag[i];
-              y[i] = last ? 0.0 : xl;
+              z[i] = (xl[i] + y[i] + a * r[i]) / splits_.diag[i];
+              y[i] = last ? 0.0 : xl[i];
             }
           });
       log_class(c, /*lower=*/true);
     }
     for (int c = nc - 2; c >= 1; --c) {
+      class_sums(upper_[c], z, xl);
       pool_->for_range(
           cs_->class_start[c], cs_->class_start[c + 1],
           [&, a](index_t b, index_t e) {
             for (index_t i = b; i < e; ++i) {
-              double xu = 0.0;
-              for (index_t t = splits_.up_begin[i]; t < rp[i + 1]; ++t) {
-                xu -= val[t] * z[col[t]];
-              }
-              z[i] = (xu + y[i] + a * r[i]) / splits_.diag[i];
-              y[i] = xu;
+              z[i] = (xl[i] + y[i] + a * r[i]) / splits_.diag[i];
+              y[i] = xl[i];
             }
           });
       log_class(c, /*lower=*/false);
     }
-    pool_->for_range(cs_->class_start[0], cs_->class_start[1],
-                     [&](index_t b, index_t e) {
-                       for (index_t i = b; i < e; ++i) {
-                         double xu = 0.0;
-                         for (index_t t = splits_.up_begin[i]; t < rp[i + 1];
-                              ++t) {
-                           xu -= val[t] * z[col[t]];
-                         }
-                         y[i] = xu;
-                       }
-                     });
+    // Class 0's upper sums scatter straight into y (the save phase).
+    class_sums(upper_[0], z, y);
     if (log_) {
       log_->spmv_diagonals(cs_->class_size(0), census_.upper[0]);
       log_->end_precond_step();

@@ -14,6 +14,7 @@
 #include "color/coloring.hpp"
 #include "core/kernel_log.hpp"
 #include "core/preconditioner.hpp"
+#include "la/sell_matrix.hpp"
 #include "par/thread_pool.hpp"
 
 namespace mstep::par {
@@ -42,7 +43,13 @@ class ParallelMulticolorMStepSsor : public core::Preconditioner {
   core::KernelLog* log_;
   color::RowSplits splits_;
   color::ClassDiagonalCensus census_;
+  // Per class: lower/upper row segments in SELL slices (see the serial
+  // sweep) — the pool partitions the SLICES of a class, then the
+  // elementwise updates, each race-free.
+  std::vector<la::SellSegments> lower_;
+  std::vector<la::SellSegments> upper_;
   mutable Vec y_;
+  mutable Vec xl_;  // scratch: the current class's scattered sums
 };
 
 }  // namespace mstep::par

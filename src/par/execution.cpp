@@ -5,6 +5,13 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "la/simd.hpp"
+
+// Every threaded chunk body below delegates to the same la/simd.hpp kernel
+// the serial twin uses, so serial == threaded == SIMD-on == SIMD-off holds
+// by construction: partitioning only decides WHO computes an element or a
+// block, never the operation sequence that computes it.
+
 namespace mstep::par {
 
 Execution::Execution(int threads) {
@@ -54,7 +61,8 @@ void Execution::axpy(double a, const Vec& x, Vec& y) const {
     return;
   }
   pool_->for_range(0, n, [&](index_t b, index_t e) {
-    for (index_t i = b; i < e; ++i) y[i] += a * x[i];
+    la::simd::axpy(a, x.data() + b, y.data() + b,
+                   static_cast<std::size_t>(e - b));
   });
 }
 
@@ -66,7 +74,8 @@ void Execution::xpay(const Vec& x, double b, Vec& y) const {
     return;
   }
   pool_->for_range(0, n, [&](index_t lo, index_t hi) {
-    for (index_t i = lo; i < hi; ++i) y[i] = x[i] + b * y[i];
+    la::simd::xpay(x.data() + lo, b, y.data() + lo,
+                   static_cast<std::size_t>(hi - lo));
   });
 }
 
@@ -74,11 +83,12 @@ void Execution::scale_copy(double a, const Vec& x, Vec& y) const {
   const auto n = static_cast<index_t>(x.size());
   y.resize(x.size());
   if (!pool_ || n < kSerialCutoff) {
-    for (index_t i = 0; i < n; ++i) y[i] = a * x[i];
+    la::simd::scale_copy(a, x.data(), y.data(), x.size());
     return;
   }
   pool_->for_range(0, n, [&](index_t b, index_t e) {
-    for (index_t i = b; i < e; ++i) y[i] = a * x[i];
+    la::simd::scale_copy(a, x.data() + b, y.data() + b,
+                         static_cast<std::size_t>(e - b));
   });
 }
 
@@ -91,7 +101,8 @@ void Execution::hadamard(const Vec& x, const Vec& y, Vec& w) const {
   }
   w.resize(x.size());
   pool_->for_range(0, n, [&](index_t b, index_t e) {
-    for (index_t i = b; i < e; ++i) w[i] = x[i] * y[i];
+    la::simd::hadamard(x.data() + b, y.data() + b, w.data() + b,
+                       static_cast<std::size_t>(e - b));
   });
 }
 
@@ -99,13 +110,7 @@ double Execution::step_update_max(double a, const Vec& p, Vec& u) const {
   assert(p.size() == u.size());
   const auto n = static_cast<index_t>(p.size());
   if (!pool_ || n < kSerialCutoff) {
-    double mx = 0.0;
-    for (index_t i = 0; i < n; ++i) {
-      const double step = a * p[i];
-      u[i] += step;
-      mx = std::max(mx, std::abs(step));
-    }
-    return mx;
+    return la::simd::step_update_max(a, p.data(), u.data(), p.size());
   }
   const auto block = static_cast<index_t>(la::kReductionBlock);
   const index_t nblocks = (n + block - 1) / block;
@@ -113,14 +118,10 @@ double Execution::step_update_max(double a, const Vec& p, Vec& u) const {
   pool_->for_each(0, nblocks, [&](index_t k) {
     const index_t b = k * block;
     const index_t e = std::min(n, b + block);
-    double mx = 0.0;
-    for (index_t i = b; i < e; ++i) {
-      const double step = a * p[i];
-      u[i] += step;
-      mx = std::max(mx, std::abs(step));
-    }
-    partials_[k] = mx;
+    partials_[k] = la::simd::step_update_max(a, p.data() + b, u.data() + b,
+                                             static_cast<std::size_t>(e - b));
   });
+  // max over blocks == max over the range: order-insensitive.
   double mx = 0.0;
   for (index_t k = 0; k < nblocks; ++k) mx = std::max(mx, partials_[k]);
   return mx;
@@ -133,15 +134,10 @@ void Execution::spmv(const la::CsrMatrix& a, const Vec& x, Vec& y) const {
   }
   assert(static_cast<index_t>(x.size()) == a.cols());
   y.resize(a.rows());
-  const auto& rp = a.row_ptr();
-  const auto& col = a.col_idx();
-  const auto& val = a.values();
   pool_->for_range(0, a.rows(), [&](index_t b, index_t e) {
-    for (index_t i = b; i < e; ++i) {
-      double s = 0.0;
-      for (index_t k = rp[i]; k < rp[i + 1]; ++k) s += val[k] * x[col[k]];
-      y[i] = s;
-    }
+    la::simd::csr_spmv_rows(a.row_ptr().data(), a.col_idx().data(),
+                            a.values().data(), x.data(), y.data(), b, e,
+                            /*subtract=*/false);
   });
 }
 
@@ -152,15 +148,10 @@ void Execution::spmv_sub(const la::CsrMatrix& a, const Vec& x, Vec& y) const {
   }
   assert(static_cast<index_t>(x.size()) == a.cols());
   assert(static_cast<index_t>(y.size()) == a.rows());
-  const auto& rp = a.row_ptr();
-  const auto& col = a.col_idx();
-  const auto& val = a.values();
   pool_->for_range(0, a.rows(), [&](index_t b, index_t e) {
-    for (index_t i = b; i < e; ++i) {
-      double s = 0.0;
-      for (index_t k = rp[i]; k < rp[i + 1]; ++k) s += val[k] * x[col[k]];
-      y[i] -= s;
-    }
+    la::simd::csr_spmv_rows(a.row_ptr().data(), a.col_idx().data(),
+                            a.values().data(), x.data(), y.data(), b, e,
+                            /*subtract=*/true);
   });
 }
 
@@ -182,7 +173,8 @@ void Execution::spmv(const la::DiaMatrix& a, const Vec& x, Vec& y) const {
       const std::vector<double>& v = diags[d];
       const index_t lo = std::max(b, std::max<index_t>(0, -off));
       const index_t hi = std::min(e, std::min<index_t>(n, n - off));
-      for (index_t i = lo; i < hi; ++i) y[i] += v[i] * x[i + off];
+      la::simd::dia_triad(v.data(), x.data(), y.data(), lo, hi, off,
+                          /*subtract=*/false);
     }
   });
 }
@@ -203,8 +195,37 @@ void Execution::spmv_sub(const la::DiaMatrix& a, const Vec& x, Vec& y) const {
       const std::vector<double>& v = diags[d];
       const index_t lo = std::max(b, std::max<index_t>(0, -off));
       const index_t hi = std::min(e, std::min<index_t>(n, n - off));
-      for (index_t i = lo; i < hi; ++i) y[i] -= v[i] * x[i + off];
+      la::simd::dia_triad(v.data(), x.data(), y.data(), lo, hi, off,
+                          /*subtract=*/true);
     }
+  });
+}
+
+void Execution::spmv(const la::SellMatrix& a, const Vec& x, Vec& y) const {
+  if (!pool_ || a.rows() < kSerialCutoff) {
+    a.multiply(x, y);
+    return;
+  }
+  assert(static_cast<index_t>(x.size()) == a.cols());
+  y.resize(a.rows());
+  // Partition by slices: slices partition the rows (each row is written
+  // through exactly one slot's scatter), so chunks never race.
+  pool_->for_range(0, a.num_slices(), [&](index_t b, index_t e) {
+    la::simd::sell_spmv_slices(a.view(), x.data(), y.data(), b, e,
+                               /*subtract=*/false);
+  });
+}
+
+void Execution::spmv_sub(const la::SellMatrix& a, const Vec& x, Vec& y) const {
+  if (!pool_ || a.rows() < kSerialCutoff) {
+    a.multiply_sub(x, y);
+    return;
+  }
+  assert(static_cast<index_t>(x.size()) == a.cols());
+  assert(static_cast<index_t>(y.size()) == a.rows());
+  pool_->for_range(0, a.num_slices(), [&](index_t b, index_t e) {
+    la::simd::sell_spmv_slices(a.view(), x.data(), y.data(), b, e,
+                               /*subtract=*/true);
   });
 }
 

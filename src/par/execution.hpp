@@ -22,6 +22,7 @@
 
 #include "la/csr_matrix.hpp"
 #include "la/dia_matrix.hpp"
+#include "la/sell_matrix.hpp"
 #include "la/vector.hpp"
 #include "par/thread_pool.hpp"
 
@@ -76,6 +77,10 @@ class Execution {
   void spmv_sub(const la::CsrMatrix& a, const Vec& x, Vec& y) const;
   void spmv(const la::DiaMatrix& a, const Vec& x, Vec& y) const;
   void spmv_sub(const la::DiaMatrix& a, const Vec& x, Vec& y) const;
+  /// SELL-C-sigma forms: partitioned on slice boundaries (slices partition
+  /// the rows, so chunks never race on the scattered writes).
+  void spmv(const la::SellMatrix& a, const Vec& x, Vec& y) const;
+  void spmv_sub(const la::SellMatrix& a, const Vec& x, Vec& y) const;
 
  private:
   std::unique_ptr<ThreadPool> pool_;

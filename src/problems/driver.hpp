@@ -44,9 +44,9 @@ struct DriverResult {
   index_t nonzero_diagonals = 0;
   bool dia_friendly = false;
   bool used_classes = false;  // closed-form classes vs greedy colouring
-  /// The operator layout the solve actually ran on ("csr" | "dia") —
-  /// `--format=auto` resolved through the bandedness probe at prepare
-  /// time; equal to the requested format otherwise.
+  /// The operator layout the solve actually ran on ("csr" | "dia" |
+  /// "sell") — `--format=auto` resolved through the bandedness/occupancy
+  /// probes at prepare time; equal to the requested format otherwise.
   std::string format_selected = "csr";
   solver::SolverConfig config;
   double setup_seconds = 0.0;  // prepare(): colouring + splitting + alphas

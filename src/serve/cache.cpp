@@ -110,15 +110,20 @@ std::size_t estimate_entry_bytes(const ProblemData& problem,
            static_cast<std::size_t>(m.rows() + 1) * sizeof(index_t);
   };
   std::size_t bytes = csr_bytes(problem.matrix);
-  // The colour permutation copies the matrix (plus two index maps); the
-  // DIA layout stores rows * num_diagonals doubles, bounded below by the
-  // CSR size — both estimated as one more matrix.
+  // The colour permutation copies the matrix (plus two index maps), and
+  // the multicolor sweeps keep SELL-sliced copies of every row's
+  // strictly-lower and strictly-upper segments (la::SellSegments —
+  // together about one more matrix); the DIA layout stores
+  // rows * num_diagonals doubles and the SELL layout a padded slice
+  // copy, both bounded below by the CSR size — each estimated as one
+  // more matrix.
   if (prepared.coloring().used) {
-    bytes += csr_bytes(problem.matrix) +
+    bytes += 2 * csr_bytes(problem.matrix) +
              2 * static_cast<std::size_t>(problem.matrix.rows()) *
                  sizeof(index_t);
   }
-  if (prepared.resolved_format() == solver::MatrixFormat::kDia) {
+  if (prepared.resolved_format() == solver::MatrixFormat::kDia ||
+      prepared.resolved_format() == solver::MatrixFormat::kSell) {
     bytes += csr_bytes(problem.matrix);
   }
   bytes += problem.rhs.size() * sizeof(double);

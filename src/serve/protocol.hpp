@@ -180,7 +180,7 @@ struct SolveResponse {
   std::string message;
   bool cache_hit = false;
   std::uint64_t fingerprint = 0;
-  std::string format_selected;  // "csr" | "dia"
+  std::string format_selected;  // "csr" | "dia" | "sell"
   double setup_seconds = 0.0;   // preparation paid by THIS request (0 on hit)
   double solve_seconds = 0.0;
   std::vector<RhsResult> results;

@@ -20,10 +20,11 @@ Ordering parse_ordering(const std::string& text) {
 MatrixFormat parse_format(const std::string& text) {
   if (text == "csr") return MatrixFormat::kCsr;
   if (text == "dia") return MatrixFormat::kDia;
+  if (text == "sell") return MatrixFormat::kSell;
   if (text == "auto") return MatrixFormat::kAuto;
   throw std::invalid_argument(
-      "SolverConfig: format must be 'csr', 'dia', or 'auto', got '" + text +
-      "'");
+      "SolverConfig: format must be 'csr', 'dia', 'sell', or 'auto', got '" +
+      text + "'");
 }
 
 core::StopRule parse_stop(const std::string& text) {
@@ -44,6 +45,7 @@ std::string to_string(MatrixFormat f) {
   switch (f) {
     case MatrixFormat::kCsr: return "csr";
     case MatrixFormat::kDia: return "dia";
+    case MatrixFormat::kSell: return "sell";
     default: return "auto";
   }
 }

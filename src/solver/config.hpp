@@ -33,17 +33,21 @@ enum class Ordering {
 ///
 /// `kAuto` defers the choice to prepare time: the solver probes the
 /// actual iteration matrix (after any multicolour permutation) with
-/// la::DiaMatrix::profitable and routes through kDia when the diagonal
-/// layout pays off, kCsr otherwise.  The resolved choice is reported in
-/// SolveReport::format_selected (and the driver's JSON `format_selected`
-/// field), so a log line always names the layout that actually ran.
+/// la::DiaMatrix::profitable (banded layout first) and, failing that,
+/// la::SellMatrix::profitable (sliced-ELL occupancy), routing through
+/// kCsr when neither structured layout pays off.  The resolved choice is
+/// reported in SolveReport::format_selected (and the driver's JSON
+/// `format_selected` field), so a log line always names the layout that
+/// actually ran.
 enum class MatrixFormat {
   kCsr,   // general sparsity
   kDia,   // by diagonals — the CYBER 203/205 layout (Section 3.1)
-  kAuto,  // probe at prepare time; resolves to kCsr or kDia
+  kSell,  // SELL-C-sigma sliced layout for the SIMD SpMV kernel
+  kAuto,  // probe at prepare time; resolves to kDia, kSell, or kCsr
 };
 
-/// Parse "csr" | "dia" | "auto"; throws std::invalid_argument otherwise.
+/// Parse "csr" | "dia" | "sell" | "auto"; throws std::invalid_argument
+/// otherwise.
 /// (The inverse of to_string(MatrixFormat), for drivers that take a
 /// --format flag without going through SolverConfig::from_cli.)
 [[nodiscard]] MatrixFormat matrix_format_from_string(const std::string& text);
@@ -98,8 +102,8 @@ struct SolverConfig {
   std::string params = "lsq";            // parameter strategy key
   Ordering ordering = Ordering::kMulticolor;
   /// Operator storage for the outer CG products (string form
-  /// "format=csr|dia|auto", CLI --format).  kAuto defers to the
-  /// bandedness probe at prepare time; see MatrixFormat.
+  /// "format=csr|dia|sell|auto", CLI --format).  kAuto defers to the
+  /// bandedness/occupancy probes at prepare time; see MatrixFormat.
   MatrixFormat format = MatrixFormat::kCsr;
   core::StopRule stop_rule = core::StopRule::kDeltaInf;
   double tolerance = 1e-6;               // on the stop_rule quantity

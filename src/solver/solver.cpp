@@ -156,16 +156,28 @@ Prepared Solver::prepare(const la::CsrMatrix& k,
   // multicolour) — a matrix that is banded in the caller's ordering can
   // scatter its diagonals under the permutation and vice versa, so the
   // probe must see the operator matrix, not the input.
+  // The registry probe order is banded-first: the diagonal layout beats
+  // the sliced one when the matrix is banded enough to fill it, and SELL
+  // catches the irregular-but-dense-rows middle ground before the CSR
+  // fallback.
   p.resolved_format_ = config_.format;
   if (p.resolved_format_ == MatrixFormat::kAuto) {
-    p.resolved_format_ = la::DiaMatrix::profitable(*p.matrix_)
-                             ? MatrixFormat::kDia
-                             : MatrixFormat::kCsr;
+    if (la::DiaMatrix::profitable(*p.matrix_)) {
+      p.resolved_format_ = MatrixFormat::kDia;
+    } else if (la::SellMatrix::profitable(*p.matrix_)) {
+      p.resolved_format_ = MatrixFormat::kSell;
+    } else {
+      p.resolved_format_ = MatrixFormat::kCsr;
+    }
   }
   if (p.resolved_format_ == MatrixFormat::kDia) {
     p.dia_ =
         std::make_unique<la::DiaMatrix>(la::DiaMatrix::from_csr(*p.matrix_));
     p.op_ = std::make_unique<la::DiaOperator>(*p.dia_);
+  } else if (p.resolved_format_ == MatrixFormat::kSell) {
+    p.sell_ =
+        std::make_unique<la::SellMatrix>(la::SellMatrix::from_csr(*p.matrix_));
+    p.op_ = std::make_unique<la::SellOperator>(*p.sell_);
   } else {
     p.op_ = std::make_unique<la::CsrOperator>(*p.matrix_);
   }

@@ -5,8 +5,8 @@
 // owns: multicolour ordering (caller-supplied classes or a greedy matrix
 // colouring), splitting construction through the registry, alpha selection
 // through the parameter-strategy registry, preconditioner assembly (with
-// the Algorithm-2 Conrad–Wallach fast path when it applies), the CSR/DIA
-// operator choice, and PCG itself.  Prepared splits the pipeline from the
+// the Algorithm-2 Conrad–Wallach fast path when it applies), the
+// CSR/DIA/SELL operator choice, and PCG itself.  Prepared splits the pipeline from the
 // solve so one factorization serves many right-hand sides.
 #pragma once
 
@@ -49,9 +49,10 @@ struct SolveReport {
   ColoringStats coloring;
   std::string preconditioner_name;
   int steps = 0;
-  /// The storage format the outer products actually ran on — always kCsr
-  /// or kDia, never kAuto (prepare resolves `format=auto` through the
-  /// la::DiaMatrix::profitable probe on the iteration matrix).
+  /// The storage format the outer products actually ran on — kCsr, kDia,
+  /// or kSell, never kAuto (prepare resolves `format=auto` through the
+  /// la::DiaMatrix / la::SellMatrix profitability probes on the iteration
+  /// matrix).
   MatrixFormat format_selected = MatrixFormat::kCsr;
 
   [[nodiscard]] bool converged() const { return result.converged; }
@@ -200,9 +201,10 @@ class Prepared {
   [[nodiscard]] const SolverConfig& config() const { return config_; }
 
   /// The operator layout this pipeline runs on: the config's format, with
-  /// kAuto resolved (via la::DiaMatrix::profitable on the matrix the
-  /// outer products iterate on, i.e. after any colour permutation) to
-  /// kCsr or kDia at prepare time.
+  /// kAuto resolved at prepare time (on the matrix the outer products
+  /// iterate on, i.e. after any colour permutation) — kDia when the
+  /// diagonal probe pays off, else kSell when the sliced-ELL occupancy
+  /// probe does, else kCsr.
   [[nodiscard]] MatrixFormat resolved_format() const {
     return resolved_format_;
   }
@@ -224,12 +226,13 @@ class Prepared {
   }
 
   SolverConfig config_;
-  // cs_ and dia_ live on the heap so every internal pointer (matrix_, the
-  // operator view, the preconditioner's system reference) stays valid when
-  // a Prepared is moved.
+  // cs_ and the format-specific matrices live on the heap so every
+  // internal pointer (matrix_, the operator view, the preconditioner's
+  // system reference) stays valid when a Prepared is moved.
   std::unique_ptr<color::ColoredSystem> cs_;  // set when multicolour
   const la::CsrMatrix* matrix_ = nullptr;     // cs_->matrix or the caller's k
   std::unique_ptr<la::DiaMatrix> dia_;        // set when format == dia
+  std::unique_ptr<la::SellMatrix> sell_;      // set when format == sell
   std::unique_ptr<la::LinearOperator> op_;
   std::unique_ptr<split::Splitting> splitting_;
   std::unique_ptr<core::Preconditioner> precond_;

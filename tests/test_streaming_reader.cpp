@@ -257,13 +257,17 @@ TEST(StreamingReader, CorruptGzipIsDiagnosedNotCrashing) {
 
 // ---- format=auto ------------------------------------------------------------
 
-TEST(StreamingReader, FormatAutoPicksDiaOnBandedAndCsrOnScattered) {
+TEST(StreamingReader, FormatAutoRoutesThroughTheFormatRegistry) {
   // `auto` probes the matrix PCG actually iterates on (after the colour
-  // permutation).  A narrow-band randspd stays diagonal-sparse under its
-  // greedy colouring -> DIA; a wide band scatters into hundreds of
-  // diagonals -> CSR.  (stencil9's four-colour permutation also keeps a
-  // bounded diagonal count — the paper's point — so it resolves to DIA,
-  // asserted below as the structured-problem case.)
+  // permutation), banded layout first.  A narrow-band randspd stays
+  // diagonal-sparse under its greedy colouring -> DIA; a wide band
+  // scatters into hundreds of diagonals, but its row lengths stay locally
+  // uniform, so the SELL occupancy probe catches it -> SELL.  (stencil9's
+  // four-colour permutation also keeps a bounded diagonal count — the
+  // paper's point — so it resolves to DIA, asserted below as the
+  // structured-problem case.  The skewed-matrix CSR fallback boundary is
+  // covered in test_sell_matrix.cpp, where the matrix can be constructed
+  // directly.)
   solver::SolverConfig config;
   config.steps = 2;
   config.format = solver::MatrixFormat::kAuto;
@@ -278,17 +282,17 @@ TEST(StreamingReader, FormatAutoPicksDiaOnBandedAndCsrOnScattered) {
   EXPECT_EQ(dia.format_selected, "dia");
   EXPECT_TRUE(dia.all_converged());
 
-  const auto csr = run("randspd:n=500:band=64");
-  EXPECT_EQ(csr.format_selected, "csr");
-  EXPECT_TRUE(csr.all_converged());
+  const auto sell = run("randspd:n=500:band=64");
+  EXPECT_EQ(sell.format_selected, "sell");
+  EXPECT_TRUE(sell.all_converged());
 
   const auto stencil = run("stencil9:n=20");
   EXPECT_EQ(stencil.format_selected, "dia");
 
   // The choice lands in the JSON report for the CI gate to check.
   std::ostringstream json;
-  problems::report_json(csr).dump(json);
-  EXPECT_NE(json.str().find("\"format_selected\": \"csr\""),
+  problems::report_json(sell).dump(json);
+  EXPECT_NE(json.str().find("\"format_selected\": \"sell\""),
             std::string::npos)
       << json.str();
 }

@@ -178,11 +178,11 @@ def check_report_extras(report, failures):
     # a concrete format, and mandatory-resolved when the config asked for
     # the automatic probe (--format=auto must never leak "auto" through).
     fmt = report.get("format_selected")
-    if isinstance(fmt, str) and fmt not in ("csr", "dia"):
+    if isinstance(fmt, str) and fmt not in ("csr", "dia", "sell"):
         failures.append(
-            f"format_selected must be 'csr' or 'dia', got '{fmt}'")
+            f"format_selected must be 'csr', 'dia', or 'sell', got '{fmt}'")
     if "format=auto" in str(report.get("config", "")) and fmt not in (
-            "csr", "dia"):
+            "csr", "dia", "sell"):
         failures.append(
             "config requested format=auto but the report does not say "
             "which format was selected")

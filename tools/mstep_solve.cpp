@@ -82,9 +82,9 @@ int print_help() {
       "  --m=<int>          preconditioner steps; 0 = plain CG (default 4)\n"
       "  --params=<key>     parameter strategy: ones | lsq | minmax (default lsq)\n"
       "  --ordering=<o>     natural | multicolor (default multicolor)\n"
-      "  --format=<f>       csr | dia | auto — operator storage for the outer\n"
-      "                     products; auto probes the matrix and picks dia\n"
-      "                     when the diagonal layout pays off (default csr)\n"
+      "  --format=<f>       csr | dia | sell | auto — operator storage for the\n"
+      "                     outer products; auto probes the matrix (dia first,\n"
+      "                     then sell) and falls back to csr (default csr)\n"
       "  --stop=<rule>      delta_inf | residual2 (default delta_inf)\n"
       "  --tol=<t>          stopping tolerance (default 1e-06)\n"
       "  --maxit=<n>        iteration cap (default 20000)\n"
