@@ -1,0 +1,136 @@
+"""check_bench.py: per-metric exact/tolN modes and unmatched-key reporting.
+
+Runs under plain `python3 -m unittest discover -s tests/tools` (no
+pytest needed locally) and under pytest in CI's tools-test job.
+"""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+sys.path.insert(0, os.path.join(REPO, "tools"))
+
+import check_bench  # noqa: E402
+
+
+def run_main(argv):
+    """check_bench.main with stdout/stderr captured -> (code, out, err)."""
+    out, err = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        try:
+            code = check_bench.main(argv)
+        except SystemExit as e:  # die() paths
+            code = e.code
+    return code, out.getvalue(), err.getvalue()
+
+
+class CheckBenchTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, name, rows):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w") as f:
+            json.dump(rows, f)
+        return path
+
+    def compare(self, baseline, candidate, *extra):
+        base = self.write("base.json", baseline)
+        cand = self.write("cand.json", candidate)
+        return run_main(["--baseline", base, "--candidate", cand,
+                         "--key", "workload", *extra])
+
+    def test_parse_metric_modes(self):
+        self.assertEqual(check_bench.parse_metric("it:lower"),
+                         ("it", "lower", None))
+        self.assertEqual(check_bench.parse_metric("it:lower:exact"),
+                         ("it", "lower", "exact"))
+        self.assertEqual(check_bench.parse_metric("sp:higher:tol0.25"),
+                         ("sp", "higher", 0.25))
+        for bad in ("it", "it:upward", "it:lower:tolx", "it:lower:fuzzy",
+                    "it:lower:tol-1"):
+            with self.assertRaises(ValueError, msg=bad):
+                check_bench.parse_metric(bad)
+
+    def test_exact_match_passes(self):
+        rows = [{"workload": "a", "iterations": 55}]
+        code, _, _ = self.compare(rows, rows,
+                                  "--metric", "iterations:lower:exact")
+        self.assertEqual(code, 0)
+
+    def test_exact_fails_on_any_drift_even_improvement(self):
+        base = [{"workload": "a", "iterations": 55}]
+        # 54 iterations is BETTER for a :lower metric, but :exact means a
+        # baseline change must be committed, not slip through.
+        better = [{"workload": "a", "iterations": 54}]
+        code, _, err = self.compare(base, better,
+                                    "--metric", "iterations:lower:exact")
+        self.assertEqual(code, 1)
+        self.assertIn("must match the baseline exactly", err)
+
+    def test_per_metric_tolerance_overrides_global(self):
+        base = [{"workload": "a", "speedup": 2.0}]
+        cand = [{"workload": "a", "speedup": 1.7}]  # -15%
+        # Global default 40% would pass; tol0.10 must fail.
+        code, _, _ = self.compare(base, cand, "--metric", "speedup:higher")
+        self.assertEqual(code, 0)
+        code, _, _ = self.compare(base, cand,
+                                  "--metric", "speedup:higher:tol0.10")
+        self.assertEqual(code, 1)
+        code, _, _ = self.compare(base, cand,
+                                  "--metric", "speedup:higher:tol0.20")
+        self.assertEqual(code, 0)
+
+    def test_global_tolerance_still_gates_plain_metrics(self):
+        base = [{"workload": "a", "speedup": 2.0}]
+        cand = [{"workload": "a", "speedup": 1.0}]  # -50% > 40%
+        code, _, err = self.compare(base, cand, "--metric", "speedup:higher")
+        self.assertEqual(code, 1)
+        self.assertIn("regressed", err)
+
+    def test_unmatched_baseline_keys_are_listed(self):
+        base = [{"workload": "a", "iterations": 5},
+                {"workload": "gone", "iterations": 7},
+                {"workload": "also-gone", "iterations": 9}]
+        cand = [{"workload": "a", "iterations": 5}]
+        code, _, err = self.compare(base, cand,
+                                    "--metric", "iterations:lower:exact")
+        self.assertEqual(code, 1)
+        self.assertIn("2 baseline row(s) have no candidate match", err)
+        self.assertIn("workload=gone", err)
+        self.assertIn("workload=also-gone", err)
+
+    def test_candidate_extra_rows_are_allowed(self):
+        base = [{"workload": "a", "iterations": 5}]
+        cand = [{"workload": "a", "iterations": 5},
+                {"workload": "new-matrix", "iterations": 9}]
+        code, out, _ = self.compare(base, cand,
+                                    "--metric", "iterations:lower:exact")
+        self.assertEqual(code, 0)
+        self.assertIn("not in the baseline", out)
+
+    def test_require_still_checks_exact_fields(self):
+        base = [{"workload": "a", "converged": True}]
+        cand = [{"workload": "a", "converged": False}]
+        code, _, err = self.compare(base, cand,
+                                    "--require", "converged=true")
+        self.assertEqual(code, 1)
+        self.assertIn("converged", err)
+
+    def test_bad_metric_spec_is_usage_error(self):
+        rows = [{"workload": "a", "iterations": 5}]
+        code, _, err = self.compare(rows, rows,
+                                    "--metric", "iterations:lower:fuzzy")
+        self.assertEqual(code, 2)
+        self.assertIn("fuzzy", err)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -12,18 +12,34 @@ BENCH_*.json through this script:
         --require bitwise_match_serial=true --require converged=true
 
 Both files hold a JSON array of flat objects.  Rows are matched by the
---key fields; every baseline row must exist in the candidate.  For each
---metric NAME:DIRECTION the candidate value must be within --tolerance of
-the baseline: for "higher"-is-better metrics, candidate >= baseline * (1 -
-tol); for "lower", candidate <= baseline * (1 + tol).  --require NAME=VALUE
-asserts an exact (stringified, case-insensitive) field value — the
-machine-independent hard checks (bitwise match, convergence).
+--key fields; every baseline row must exist in the candidate (the
+failure summary lists every unmatched baseline key).  Each --metric is
 
-The default tolerance is 0.40 (fail on a >40% regression) — THE perf-gate
-threshold, stated in bench/baselines/README.md; pass --tolerance to
-override for ad-hoc comparisons.  Wall-clock ratios on shared CI runners
-are noisy, hence the wide default; iteration counts are exact and do the
-fine-grained gating regardless.
+    NAME:DIRECTION[:exact|:tolN]
+
+DIRECTION is "higher" or "lower" (which way is better).  The optional
+third part picks the comparison mode per metric:
+
+    (none)   the global --tolerance applies: for "higher" metrics the
+             candidate must be >= baseline * (1 - tol); for "lower",
+             <= baseline * (1 + tol)
+    :exact   the candidate must equal the baseline exactly — the mode
+             for machine-independent integer metrics (iteration
+             counts): any drift, in either direction, fails.  A lower
+             iteration count is still a baseline change and must be
+             committed deliberately, not slip through silently.
+    :tolN    a per-metric relative tolerance overriding the global one,
+             e.g. speedup:higher:tol0.25
+
+--require NAME=VALUE asserts an exact (stringified, case-insensitive)
+field value — the machine-independent hard checks (bitwise match,
+convergence).
+
+The default tolerance is 0.40 (fail on a >40% regression) — THE
+perf-gate threshold, stated in bench/baselines/README.md; pass
+--tolerance to override for ad-hoc comparisons.  Wall-clock ratios on
+shared CI runners are noisy, hence the wide default; iteration counts
+are exact (":exact") and do the fine-grained gating regardless.
 
 Only scale-free metrics (speedups, iteration counts) belong in the gate:
 absolute wall seconds differ across runner generations.  To refresh the
@@ -45,6 +61,34 @@ def die(message):
     sys.exit(2)
 
 
+def parse_metric(spec):
+    """'NAME:DIRECTION[:exact|:tolN]' -> (name, direction, mode).
+
+    mode is None (use the global tolerance), "exact", or a float (a
+    per-metric tolerance).  Raises ValueError with the reason.
+    """
+    parts = spec.split(":")
+    if len(parts) not in (2, 3):
+        raise ValueError("needs NAME:higher|lower[:exact|:tolN]")
+    name, direction = parts[0], parts[1]
+    if direction not in ("higher", "lower"):
+        raise ValueError("direction must be :higher or :lower")
+    if len(parts) == 2:
+        return name, direction, None
+    mode = parts[2]
+    if mode == "exact":
+        return name, direction, "exact"
+    if mode.startswith("tol"):
+        try:
+            tol = float(mode[len("tol"):])
+        except ValueError:
+            raise ValueError(f"bad tolerance '{mode}'") from None
+        if tol < 0:
+            raise ValueError(f"negative tolerance '{mode}'")
+        return name, direction, tol
+    raise ValueError(f"unknown mode ':{mode}' (want :exact or :tolN)")
+
+
 def parse_args(argv):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", required=True)
@@ -52,8 +96,9 @@ def parse_args(argv):
     ap.add_argument("--key", default="workload",
                     help="comma-separated fields identifying a row")
     ap.add_argument("--metric", action="append", default=[],
-                    metavar="NAME:higher|lower",
-                    help="relative-tolerance metric check (repeatable)")
+                    metavar="NAME:higher|lower[:exact|:tolN]",
+                    help="metric check (repeatable); :exact requires "
+                         "equality, :tolN overrides --tolerance")
     ap.add_argument("--require", action="append", default=[],
                     metavar="NAME=VALUE",
                     help="exact field check on candidate rows (repeatable)")
@@ -85,10 +130,10 @@ def main(argv):
     key_fields = [f for f in args.key.split(",") if f]
     metrics = []
     for spec in args.metric:
-        name, _, direction = spec.partition(":")
-        if direction not in ("higher", "lower"):
-            die(f"check_bench: metric '{spec}' needs :higher or :lower")
-        metrics.append((name, direction))
+        try:
+            metrics.append(parse_metric(spec))
+        except ValueError as e:
+            die(f"check_bench: metric '{spec}': {e}")
     requires = []
     for spec in args.require:
         name, eq, value = spec.partition("=")
@@ -100,19 +145,20 @@ def main(argv):
     candidate = {row_key(r, key_fields): r for r in load_rows(args.candidate)}
 
     failures = []
+    unmatched = []
     checks = 0
     for key, base_row in baseline.items():
         label = ", ".join(f"{f}={v}" for f, v in key)
         cand_row = candidate.get(key)
         if cand_row is None:
-            failures.append(f"[{label}] missing from candidate")
+            unmatched.append(label)
             continue
         for name, value in requires:
             checks += 1
             got = str(cand_row.get(name)).lower()
             if got != value.lower():
                 failures.append(f"[{label}] {name} = {got}, required {value}")
-        for name, direction in metrics:
+        for name, direction, mode in metrics:
             if name not in base_row:
                 die(f"check_bench: baseline [{label}] lacks '{name}'")
             if name not in cand_row:
@@ -121,21 +167,43 @@ def main(argv):
             checks += 1
             base = float(base_row[name])
             cand = float(cand_row[name])
-            if direction == "higher":
-                limit = base * (1.0 - args.tolerance)
-                ok = cand >= limit
-                verdict = f">= {limit:.4g}"
+            if mode == "exact":
+                ok = cand == base
+                verdict = f"== {base:.10g}"
             else:
-                limit = base * (1.0 + args.tolerance)
-                ok = cand <= limit
-                verdict = f"<= {limit:.4g}"
+                tol = args.tolerance if mode is None else mode
+                if direction == "higher":
+                    limit = base * (1.0 - tol)
+                    ok = cand >= limit
+                    verdict = f">= {limit:.4g}"
+                else:
+                    limit = base * (1.0 + tol)
+                    ok = cand <= limit
+                    verdict = f"<= {limit:.4g}"
             status = "ok  " if ok else "FAIL"
             print(f"  {status} [{label}] {name}: candidate {cand:.4g} vs "
                   f"baseline {base:.4g} (need {verdict})")
             if not ok:
-                failures.append(
-                    f"[{label}] {name} regressed: {cand:.4g} vs baseline "
-                    f"{base:.4g} (tolerance {args.tolerance:.0%})")
+                if mode == "exact":
+                    failures.append(
+                        f"[{label}] {name} must match the baseline exactly: "
+                        f"{cand:.10g} vs {base:.10g} — iteration-count-style "
+                        f"metrics are machine-independent; an intentional "
+                        f"change needs a committed baseline refresh")
+                else:
+                    failures.append(
+                        f"[{label}] {name} regressed: {cand:.4g} vs baseline "
+                        f"{base:.4g} (tolerance {tol:.0%})")
+
+    if unmatched:
+        failures.append(
+            f"{len(unmatched)} baseline row(s) have no candidate match "
+            f"(key fields: {','.join(key_fields)}): "
+            + "; ".join(f"[{u}]" for u in unmatched))
+    extra = len(candidate.keys() - baseline.keys())
+    if extra:
+        print(f"  note: candidate has {extra} row(s) not in the baseline "
+              f"(allowed — only baseline rows gate)")
 
     print(f"check_bench: {checks} checks, {len(failures)} failure(s) "
           f"({args.baseline} vs {args.candidate})")

@@ -13,8 +13,9 @@ documents):
 --schema picks the contract: `report` (default) is mstep_solve's --out
 document, `request` is mstep_request's --out document, `metrics` is the
 mstep_served metrics snapshot (also what --metrics-out flushes on
-graceful shutdown), and `served` is bench_served's BENCH_served.json —
-an ARRAY of workload rows, each validated against the row schema.
+graceful shutdown), `served` is bench_served's BENCH_served.json, and
+`corpus` is run_corpus.py's BENCH_corpus.json — the last two are
+ARRAYS of workload rows, each validated against the row schema.
 
 Nested documents use dotted field paths ("cache.hit_rate"); --require
 NAME=VALUE asserts an exact (stringified, case-insensitive) value at
@@ -133,12 +134,36 @@ SERVED_ROW_SCHEMA = {
     "bitwise_match_direct": (bool,),
 }
 
+# One run_corpus.py row (BENCH_corpus.json is an array of these): one
+# manifest matrix x one splitting/m point of the sweep, nrhs=1 flattened.
+CORPUS_ROW_SCHEMA = {
+    "tool": (str,),
+    "matrix": (str,),
+    "kind": (str,),
+    "splitting": (str,),
+    "m": (int,),
+    "config": (str,),
+    "n": (int,),
+    "nnz": (int,),
+    "format_selected": (str,),
+    "iterations": (int,),
+    "converged": (bool,),
+    "final_delta_inf": (int, float),
+    "setup_seconds": (int, float),
+    "solve_seconds": (int, float),
+}
+
 SCHEMAS = {
     "report": REPORT_SCHEMA,
     "request": REQUEST_SCHEMA,
     "metrics": METRICS_SCHEMA,
     "served": SERVED_ROW_SCHEMA,
+    "corpus": CORPUS_ROW_SCHEMA,
 }
+
+# Schemas whose document is a JSON ARRAY of rows (--require applies to
+# every row).
+ARRAY_SCHEMAS = ("served", "corpus")
 
 _MISSING = object()
 
@@ -225,7 +250,7 @@ def main(argv):
 
     schema = SCHEMAS[args.schema]
     failures = []
-    if args.schema == "served":
+    if args.schema in ARRAY_SCHEMAS:
         # An array of workload rows; --require applies to every row.
         if not isinstance(document, list) or not document:
             die(f"check_report: {args.report} is not a non-empty JSON array")
@@ -235,6 +260,12 @@ def main(argv):
                 failures.append(f"{where}not a JSON object")
                 continue
             check_fields(row, schema, failures, where)
+            if args.schema == "corpus":
+                fmt = row.get("format_selected")
+                if isinstance(fmt, str) and fmt not in ("csr", "dia", "sell"):
+                    failures.append(
+                        f"{where}format_selected must be 'csr', 'dia', or "
+                        f"'sell', got '{fmt}'")
         documents = [(f"row {i}: ", row) for i, row in enumerate(document)
                      if isinstance(row, dict)]
     else:

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "io/matrix_market.hpp"
 #include "problems/driver.hpp"
 #include "solver/solver.hpp"
 #include "util/cli.hpp"
@@ -96,6 +97,13 @@ int print_help() {
       "output:\n"
       "  --out=<path>       write the JSON report (schema: docs/file-formats.md,\n"
       "                     validated by tools/check_report.py)\n"
+      "  --export-matrix=<path>  write the assembled system matrix in canonical\n"
+      "                     Matrix Market form (symmetric storage, .gz\n"
+      "                     compresses) — byte-stable, so sha256 pins it;\n"
+      "                     the corpus cache (tools/fetch_corpus.py) is\n"
+      "                     materialized this way\n"
+      "  --export-only      with --export-matrix: skip the solve and exit 0\n"
+      "                     after writing the matrix\n"
       "  --list             print registered problems/splittings/strategies\n"
       "  --help             this text\n"
       "\n"
@@ -108,8 +116,10 @@ int print_help() {
 
 int main(int argc, char** argv) {
   try {
-    std::vector<std::string> allowed = {"problem", "matrix", "rhs", "nrhs",
-                                        "out", "list", "help"};
+    std::vector<std::string> allowed = {"problem", "matrix", "rhs",
+                                        "nrhs",    "out",    "list",
+                                        "help",    "export-matrix",
+                                        "export-only"};
     for (const auto& f : solver::SolverConfig::cli_flags()) {
       allowed.push_back(f);
     }
@@ -123,6 +133,34 @@ int main(int argc, char** argv) {
     input.rhs_path = cli.get("rhs", "");
     input.nrhs = cli.get_int("nrhs", 1);
     const solver::SolverConfig config = solver::SolverConfig::from_cli(cli);
+
+    const std::string export_path = cli.get("export-matrix", "");
+    if (cli.has("export-only") && export_path.empty()) {
+      std::cerr << "mstep_solve: --export-only needs --export-matrix\n";
+      return 2;
+    }
+    if (!export_path.empty()) {
+      const problems::Problem p = problems::resolve_problem(input);
+      io::MmWriteOptions options;
+      // SPD operators export in symmetric storage — the layout the
+      // SuiteSparse collection uses — and the writer's canonical bytes
+      // make the file's sha256 a stable fingerprint of the operator.
+      // Generators whose assembly order leaves K(i,j) and K(j,i) a
+      // rounding apart are not *bitwise* symmetric; they fall back to
+      // general storage (still canonical, still byte-stable).
+      options.symmetry = io::MmSymmetry::kSymmetric;
+      options.comment = "mstep export: " + p.spec.to_string();
+      try {
+        io::write_matrix_market(export_path, p.matrix, options);
+      } catch (const std::invalid_argument&) {
+        options.symmetry = io::MmSymmetry::kGeneral;
+        io::write_matrix_market(export_path, p.matrix, options);
+      }
+      std::cout << "exported " << p.spec.to_string() << " (n = "
+                << p.matrix.rows() << ", nnz = " << p.matrix.nnz()
+                << ") to " << export_path << '\n';
+      if (cli.has("export-only")) return 0;
+    }
 
     const problems::DriverResult r = problems::run(input, config);
 
