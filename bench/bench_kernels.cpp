@@ -33,6 +33,7 @@
 #include "la/sell_matrix.hpp"
 #include "la/simd.hpp"
 #include "la/vector.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/json_writer.hpp"
 #include "util/rng.hpp"
@@ -296,6 +297,57 @@ int main(int argc, char** argv) {
       rows.push_back(r);
     }
 
+    // ---- Trace-off overhead -----------------------------------------------
+    // The observability policy (docs/observability.md): instrumentation
+    // that is compiled in but switched off must cost nothing measurable.
+    // Time the axpy kernel bare, then wrapped the way the solver wraps
+    // its hot loops — an obs::Span plus a counter bump per apply, tracer
+    // disabled — and gate the ratio (CI: overhead_ratio:lower:tol0.02
+    // against bench/baselines/BENCH_trace_overhead.json's 1.0).
+    double overhead_ratio = 0.0;
+    bool trace_bitwise_ok = true;
+    {
+      obs::Tracer::instance().set_enabled(false);
+      Vec ya = vy;
+      bool flip = false;
+      const auto plain_apply = [&] {
+        la::axpy(flip ? -1e-6 : 1e-6, vx, ya);
+        flip = !flip;
+      };
+      Vec yb = vy;
+      bool flip_b = false;
+      const auto traced_off_apply = [&] {
+        const obs::Span span("bench_axpy");
+        obs::count(obs::Counter::kFlops,
+                   2LL * static_cast<long long>(vecn));
+        la::axpy(flip_b ? -1e-6 : 1e-6, vx, yb);
+        flip_b = !flip_b;
+      };
+      const long long flops = 2LL * static_cast<long long>(vecn);
+      const double seconds_plain =
+          time_kernel(plain_apply, flops, target_flops, repeats);
+      const double seconds_traced_off =
+          time_kernel(traced_off_apply, flops, target_flops, repeats);
+      overhead_ratio = seconds_traced_off / seconds_plain;
+
+      // Bitwise: one apply under a LIVE tracer must match the bare one.
+      Vec plain_out = vy;
+      la::axpy(1e-6, vx, plain_out);
+      Vec traced_out = vy;
+      {
+        const obs::EnableScope enable;
+        const obs::Span span("bench_axpy_check");
+        la::axpy(1e-6, vx, traced_out);
+      }
+      trace_bitwise_ok = plain_out == traced_out;
+      obs::Tracer::instance().reset();
+
+      std::cout << "trace-off overhead: plain " << seconds_plain
+                << " s/apply, instrumented-off " << seconds_traced_off
+                << " s/apply, ratio " << overhead_ratio << ", bitwise "
+                << (trace_bitwise_ok ? "yes" : "NO") << "\n\n";
+    }
+
     print_rows(rows, "kernel roofline (n = " + std::to_string(n) +
                          " FEM equations, vec n = " + std::to_string(vecn) +
                          ")");
@@ -320,6 +372,16 @@ int main(int argc, char** argv) {
                          .set("bitwise_match_scalar", r.bitwise_match_scalar)
                          .set("simd_isa", r.simd_isa));
     }
+    // The overhead row rides the same document (extra candidate rows are
+    // legal for the roofline gate; its own gate keys on kernel,format
+    // against the separate BENCH_trace_overhead.json baseline).
+    all_ok = all_ok && trace_bitwise_ok;
+    json_rows.push(util::Json::object()
+                       .set("kernel", "trace_off_overhead")
+                       .set("format", "vec")
+                       .set("n", static_cast<long long>(vecn))
+                       .set("overhead_ratio", overhead_ratio)
+                       .set("bitwise_match_traced", trace_bitwise_ok));
     std::ofstream json(out_path);
     json_rows.dump(json);
     std::cout << "wrote " << out_path << '\n';

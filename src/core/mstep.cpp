@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "par/execution.hpp"
 
 namespace mstep::core {
@@ -32,6 +33,7 @@ void MStepPreconditioner::apply(const Vec& r, Vec& z) const {
   z.assign(n, 0.0);
   tmp_.resize(n);
   for (int s = 1; s <= m; ++s) {
+    const obs::Span sweep_span("sweep");
     const double a = alphas_[m - s];
     if (s == 1) {
       // z = 0, so the residual is just alpha * r.

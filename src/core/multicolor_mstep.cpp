@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "la/simd.hpp"
+#include "obs/trace.hpp"
 
 namespace mstep::core {
 
@@ -65,6 +66,7 @@ void MulticolorMStepSsor::apply(const Vec& r, Vec& z) const {
   };
 
   for (int s = 1; s <= m; ++s) {
+    const obs::Span sweep_span("sweep");
     const double a = alphas_[m - s];
     // Forward half-sweep.  For class 0 this doubles as the deferred
     // backward update of the previous step (y holds its upper sums).

@@ -1,8 +1,10 @@
 #include "core/pcg.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "par/execution.hpp"
 
 namespace mstep::core {
@@ -29,6 +31,11 @@ PcgResult pcg_solve(const la::LinearOperator& k, const Vec& f,
   }
   const int ndiags =
       log ? static_cast<int>(k.num_nonzero_diagonals()) : 0;
+
+  // One span per solve; the per-iteration and per-sweep spans nest
+  // inside it on whichever thread runs this solve (a batch lane's track
+  // in a multi-RHS trace).
+  const obs::Span solve_span("solve");
 
   PcgResult res;
   // All solve-sized scratch comes from the workspace when one is supplied
@@ -76,7 +83,16 @@ PcgResult pcg_solve(const la::LinearOperator& k, const Vec& f,
   w.resize(n);
   const double f_norm = ex.nrm2(f);
 
+  // History timing marks between consecutive convergence checks: each
+  // record's `seconds` covers one full trip around the loop, so the
+  // column sums to the loop's wall-clock.  The clock is only read when
+  // history is requested.
+  using HistClock = std::chrono::steady_clock;
+  HistClock::time_point hist_mark;
+  if (options.record_history) hist_mark = HistClock::now();
+
   for (int it = 0; it < options.max_iterations; ++it) {
+    const obs::Span iteration_span("iteration");
     // w = K p ; alpha = rho / (p, w)
     k.multiply(p, w, ex);
     const double pw = ex.dot(p, w);
@@ -106,14 +122,21 @@ PcgResult pcg_solve(const la::LinearOperator& k, const Vec& f,
     res.iterations = it + 1;
     res.final_delta_inf = delta_inf;
 
+    const auto push_history = [&](double value) {
+      const HistClock::time_point now = HistClock::now();
+      res.history.push_back(IterationRecord{
+          value, alpha,
+          std::chrono::duration<double>(now - hist_mark).count()});
+      hist_mark = now;
+    };
     bool stop = false;
     if (options.stop_rule == StopRule::kDeltaInf) {
-      if (options.record_history) res.history.push_back(delta_inf);
+      if (options.record_history) push_history(delta_inf);
       stop = delta_inf < options.tolerance;
     } else {
       const double rn = ex.nrm2(r);
       res.final_residual2 = rn;
-      if (options.record_history) res.history.push_back(rn);
+      if (options.record_history) push_history(rn);
       stop = rn < options.tolerance * (f_norm > 0 ? f_norm : 1.0);
     }
     if (log) log->end_iteration();

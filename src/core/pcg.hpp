@@ -31,6 +31,17 @@ struct PcgOptions {
   bool record_history = false;  // per-iteration stopping quantity
 };
 
+/// One row of the per-iteration convergence history (options.record_history):
+/// the stopping quantity (delta_inf or ||r||_2 depending on the stop rule),
+/// the CG step length, and the wall-clock attributed to the iteration.
+/// Recording reads a timer but never touches the floating-point data flow,
+/// so a history-recording solve is bitwise identical to a plain one.
+struct IterationRecord {
+  double value = 0.0;
+  double alpha = 0.0;
+  double seconds = 0.0;
+};
+
 struct PcgResult {
   Vec solution;
   int iterations = 0;
@@ -39,7 +50,7 @@ struct PcgResult {
   double final_residual2 = 0.0;
   long long inner_products = 0;   // dot products executed
   long long precond_applications = 0;
-  std::vector<double> history;
+  std::vector<IterationRecord> history;
 };
 
 /// Reusable scratch for pcg_solve: the solve-sized vectors Algorithm 1

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "obs/trace.hpp"
 
 namespace mstep::par {
 
@@ -14,7 +17,13 @@ ThreadPool::ThreadPool(int threads) {
   const int extra = std::max(0, threads - 1);
   workers_.reserve(extra);
   for (int i = 0; i < extra; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    // Workers name their trace track up front ("pool-1"..., the caller
+    // thread is pool-0's role), so a trace taken later in the process
+    // lifetime still labels every track.
+    workers_.emplace_back([this, i] {
+      obs::name_thread("pool-" + std::to_string(i + 1));
+      worker_loop();
+    });
   }
 }
 

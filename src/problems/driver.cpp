@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/params.hpp"
 #include "io/matrix_market.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -103,7 +104,13 @@ DriverResult run_resolved(const Problem& problem,
     bs.push_back(rng.uniform_vector(problem.rhs.size()));
   }
 
-  const auto solver = solver::Solver::from_config(config);
+  // Always record the per-iteration convergence history: it is pure
+  // observability (a timer read and a push_back per iteration, no change
+  // to the floating-point data flow), and the report surfaces it.  The
+  // reported config stays the caller's, so config strings are stable.
+  solver::SolverConfig solve_config = config;
+  solve_config.record_history = true;
+  const auto solver = solver::Solver::from_config(solve_config);
   util::Timer setup_timer;
   const auto prepared = problem.has_classes()
                             ? solver.prepare(problem.matrix, problem.classes)
@@ -186,6 +193,32 @@ util::Json report_json(const DriverResult& r) {
       .set("rhs_errors", std::move(errors))
       .set("error_vs_exact",
            r.has_exact ? util::Json(r.error_vs_exact) : util::Json());
+
+  // Spectrum estimate + condition-number proxy (the paper's tables read
+  // iteration counts against kappa(M^-1 K)), and RHS 0's per-iteration
+  // convergence history.  predicted_condition can be +inf (non-positive
+  // eigenvalue map); the JSON writer renders that as null, as it does
+  // the m = 0 identity preconditioner's empty alpha vector.
+  const auto& rep0 = r.batch.reports[0];
+  util::Json interval = util::Json::object();
+  interval.set("lambda_min", rep0.interval.lambda_min)
+      .set("lambda_max", rep0.interval.lambda_max);
+  util::Json history = util::Json::array();
+  if (r.batch.ok(0)) {
+    for (const auto& h : rep0.result.history) {
+      history.push(util::Json::object()
+                       .set("value", h.value)
+                       .set("alpha", h.alpha)
+                       .set("seconds", h.seconds));
+    }
+  }
+  j.set("interval", std::move(interval))
+      .set("condition_proxy",
+           rep0.alphas.empty()
+               ? util::Json()
+               : util::Json(core::predicted_condition(rep0.alphas,
+                                                      rep0.interval)))
+      .set("history", std::move(history));
   return j;
 }
 

@@ -88,7 +88,8 @@ util::Json ServerMetrics::to_json(const PreparedCache::Stats& cache,
       .set("requests", std::move(requests))
       .set("cache", std::move(cache_json))
       .set("latency_solve_seconds", solve_latency_.to_json())
-      .set("latency_request_seconds", request_latency_.to_json());
+      .set("latency_request_seconds", request_latency_.to_json())
+      .set("latency_setup_seconds", setup_latency_.to_json());
   return j;
 }
 

@@ -68,6 +68,9 @@ class ServerMetrics {
 
   void record_solve_seconds(double s) { solve_latency_.record(s); }
   void record_request_seconds(double s) { request_latency_.record(s); }
+  /// Preparation paid by a cache-missing solve; hits record nothing, so
+  /// this histogram is the true cost of cold pipelines only.
+  void record_setup_seconds(double s) { setup_latency_.record(s); }
 
   /// The full metrics document (docs/protocol.md, "Metrics schema").
   [[nodiscard]] util::Json to_json(const PreparedCache::Stats& cache,
@@ -83,6 +86,7 @@ class ServerMetrics {
   std::atomic<std::uint64_t> cache_hit_solves_{0};
   LatencyHistogram solve_latency_;
   LatencyHistogram request_latency_;
+  LatencyHistogram setup_latency_;
 };
 
 }  // namespace mstep::serve

@@ -224,6 +224,7 @@ std::string SolveRequest::encode() const {
   w.str(config);
   w.u32(static_cast<std::uint32_t>(rhs.size()));
   for (const Vec& b : rhs) w.vec(b);
+  w.u8(want_trace ? 1 : 0);
   return w.take();
 }
 
@@ -244,6 +245,7 @@ SolveRequest SolveRequest::decode(const std::string& payload) {
   const std::uint32_t nrhs = r.u32();
   q.rhs.reserve(nrhs);
   for (std::uint32_t i = 0; i < nrhs; ++i) q.rhs.push_back(r.vec());
+  q.want_trace = r.u8() != 0;
   if (!r.exhausted()) throw ProtocolError("trailing bytes in solve request");
   return q;
 }
@@ -280,6 +282,8 @@ std::string SolveResponse::encode() const {
     w.f64(r.final_delta_inf);
     w.vec(r.solution);
   }
+  w.u64(request_id);
+  w.str(trace);
   return w.take();
 }
 
@@ -312,6 +316,8 @@ SolveResponse SolveResponse::decode(const std::string& payload) {
     }
     a.results.push_back(std::move(res));
   }
+  a.request_id = r.u64();
+  a.trace = r.str();
   if (!r.exhausted()) throw ProtocolError("trailing bytes in solve reply");
   return a;
 }

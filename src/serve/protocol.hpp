@@ -149,6 +149,10 @@ struct SolveRequest {
   std::uint64_t fingerprint = 0;   // kFingerprint
   std::string config;              // SolverConfig string ("" = defaults)
   std::vector<Vec> rhs;
+  /// Ask the server to trace this request and return the span events
+  /// (Chrome trace-event JSON) in SolveResponse::trace.  Tracing never
+  /// changes the solution bits; it only adds the reply payload.
+  bool want_trace = false;
 
   [[nodiscard]] std::string encode() const;
   static SolveRequest decode(const std::string& payload);
@@ -184,6 +188,12 @@ struct SolveResponse {
   double setup_seconds = 0.0;   // preparation paid by THIS request (0 on hit)
   double solve_seconds = 0.0;
   std::vector<RhsResult> results;
+  /// Server-assigned id of this request; every span the request emitted
+  /// carries it as the trace events' "correlation" arg.
+  std::uint64_t request_id = 0;
+  /// Chrome trace-event JSON for this request's spans — only when the
+  /// request set want_trace, empty otherwise.
+  std::string trace;
 
   [[nodiscard]] bool all_converged() const;
 

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "problems/problem.hpp"
 #include "serve/hash.hpp"
 #include "solver/config.hpp"
@@ -219,6 +220,10 @@ util::Json Server::metrics_json() const {
 }
 
 void Server::serve_connection(Socket sock) {
+  // Label this handler's trace track; requests solved inline (no pool)
+  // put their prepare/solve/iteration spans on this thread.
+  static std::atomic<int> conn_serial{0};
+  obs::name_thread("conn-" + std::to_string(1 + conn_serial.fetch_add(1)));
   try {
     for (;;) {
       // Poll in short slices so a drain is observed even on an idle
@@ -309,6 +314,30 @@ bool Server::handle_frame(Socket& sock, MsgType type,
 }
 
 SolveResponse Server::handle_solve(SolveRequest request) {
+  // Every solve gets an id; every span the request emits (here and down
+  // through prepare/pcg/sweep on whatever thread runs them) carries it as
+  // the correlation arg, so one request's trace can be cut out of the
+  // shared ring buffers.  want_trace opens a per-request enable window —
+  // tracing one request never forces it on the whole daemon.
+  const std::uint64_t request_id = 1 + request_serial_.fetch_add(1);
+  const bool want_trace = request.want_trace;
+  const obs::CorrelationScope correlate(request_id);
+  std::unique_ptr<obs::EnableScope> enable;
+  if (want_trace) enable = std::make_unique<obs::EnableScope>();
+
+  SolveResponse response;
+  {
+    const obs::Span request_span("request");
+    response = handle_solve_inner(std::move(request));
+  }
+  response.request_id = request_id;
+  if (want_trace && response.retcode == Retcode::kOk) {
+    response.trace = obs::Tracer::instance().chrome_json(request_id);
+  }
+  return response;
+}
+
+SolveResponse Server::handle_solve_inner(SolveRequest request) {
   SolveResponse response;
   if (shutdown_requested_.load()) {
     response.retcode = Retcode::kShuttingDown;
@@ -416,6 +445,7 @@ SolveResponse Server::handle_solve(SolveRequest request) {
   PreparedCache::Lookup lookup;
   util::Timer setup_timer;
   try {
+    const obs::Span setup_span("setup");
     lookup = cache_.get_or_prepare(fingerprint, config, canonical_config,
                                    loader);
   } catch (const std::exception& e) {
@@ -426,7 +456,12 @@ SolveResponse Server::handle_solve(SolveRequest request) {
   response.setup_seconds = lookup.hit ? 0.0 : setup_timer.seconds();
   response.cache_hit = lookup.hit;
   response.fingerprint = fingerprint;
-  if (lookup.hit) metrics_.count_cache_hit();
+  if (lookup.hit) {
+    metrics_.count_cache_hit();
+    obs::count(obs::Counter::kCacheHits, 1);
+  } else {
+    metrics_.record_setup_seconds(response.setup_seconds);
+  }
 
   const ProblemData& problem = *lookup.entry->problem;
   const auto n = static_cast<std::size_t>(problem.matrix.rows());

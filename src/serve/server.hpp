@@ -121,7 +121,12 @@ class Server {
   void serve_connection(Socket sock);
   /// Dispatch one frame; returns false when the connection should close.
   bool handle_frame(Socket& sock, MsgType type, const std::string& payload);
+  /// Tracing shell around handle_solve_inner: assigns the request id,
+  /// scopes the tracer's correlation (and, when the request asked, a
+  /// per-request enable window) around the work, then harvests this
+  /// request's span events into the reply.
   [[nodiscard]] SolveResponse handle_solve(SolveRequest request);
+  [[nodiscard]] SolveResponse handle_solve_inner(SolveRequest request);
   void reap_finished_connections(bool join_all);
   void write_final_metrics();
   void log(const std::string& line) const;
@@ -144,6 +149,12 @@ class Server {
   /// request skips problem GENERATION as well as preparation.
   std::mutex spec_index_mutex_;
   std::map<std::string, std::uint64_t> spec_index_;
+
+  /// Monotone solve-request ids; id 0 is reserved for "untraced", so the
+  /// counter starts handing out 1.  The id doubles as the trace
+  /// correlation key that picks this request's spans out of the
+  /// process-wide ring buffers.
+  std::atomic<std::uint64_t> request_serial_{0};
 };
 
 }  // namespace mstep::serve

@@ -23,6 +23,8 @@
 
 #include "core/mstep.hpp"
 #include "core/multicolor_mstep.hpp"
+#include "obs/kernel_log.hpp"
+#include "obs/trace.hpp"
 #include "solver/solver.hpp"
 #include "util/timer.hpp"
 
@@ -35,6 +37,10 @@ struct Lane {
   detail::PrecondChoice engine;  // serial preconditioner (+ its splitting)
   core::PcgWorkspace workspace;
   Vec fp;  // permuted right-hand side (reused across this lane's RHSs)
+  /// Feeds the tracer's kernel census (flops/bytes counters) when tracing
+  /// is enabled at batch time; null otherwise, so the untraced hot path
+  /// keeps its no-log pcg_solve calls.
+  std::unique_ptr<obs::TracingKernelLog> trace_log;
 };
 
 }  // namespace
@@ -106,15 +112,26 @@ BatchReport Prepared::solveMany(util::Span<const Vec> bs,
   // prepare(), with exec = nullptr for the serial twin (see the file
   // comment).  The expensive setup — coloring, interval, alphas — is NOT
   // redone: lanes share cs_/matrix_/op_/alphas_ read-only.
+  // The kernel census rides the same KernelLog stream the Section-4 cost
+  // model uses — one instrumentation pass.  The log pointer is non-null
+  // only when tracing is on when the batch starts, so untraced batches
+  // keep the log-free pcg_solve/sweep code paths (no virtual calls).
+  const bool tracing = obs::Tracer::instance().enabled();
   std::vector<Lane> arena(static_cast<std::size_t>(lanes));
   for (Lane& lane : arena) {
+    if (tracing) lane.trace_log = std::make_unique<obs::TracingKernelLog>();
     lane.engine = detail::make_preconditioner(config_, cs_.get(), *matrix_,
-                                              alphas_, nullptr, nullptr);
+                                              alphas_, lane.trace_log.get(),
+                                              nullptr);
   }
 
   const index_t n = matrix_->rows();
   std::atomic<index_t> cursor{0};
+  // Lanes on pool threads inherit the caller's correlation id, so a
+  // traced daemon request keeps its id on every lane's track.
+  const std::uint64_t trace_correlation = obs::correlation();
   auto run_lane = [&](index_t lane_id) {
+    const obs::CorrelationScope correlate(trace_correlation);
     Lane& lane = arena[static_cast<std::size_t>(lane_id)];
     for (;;) {
       const index_t i = cursor.fetch_add(1, std::memory_order_relaxed);
@@ -132,12 +149,14 @@ BatchReport Prepared::solveMany(util::Span<const Vec> bs,
         if (cs_) {
           cs_->permute_into(f, lane.fp);
           report.result = core::pcg_solve(*op_, lane.fp, precond,
-                                          config_.pcg_options(), nullptr, {},
+                                          config_.pcg_options(),
+                                          lane.trace_log.get(), {},
                                           nullptr, &lane.workspace);
           cs_->unpermute_into(report.result.solution, report.solution);
         } else {
           report.result = core::pcg_solve(*op_, f, precond,
-                                          config_.pcg_options(), nullptr, {},
+                                          config_.pcg_options(),
+                                          lane.trace_log.get(), {},
                                           nullptr, &lane.workspace);
           report.solution = report.result.solution;
         }

@@ -7,6 +7,7 @@
 #include "color/greedy.hpp"
 #include "core/mstep.hpp"
 #include "core/multicolor_mstep.hpp"
+#include "obs/trace.hpp"
 #include "par/colored_sweep.hpp"
 
 namespace mstep::solver {
@@ -113,43 +114,50 @@ Prepared Solver::prepare(const la::CsrMatrix& k,
   if (k.rows() != k.cols()) {
     throw std::invalid_argument("Solver: matrix must be square");
   }
+  const obs::Span prepare_span("prepare");
   Prepared p;
   p.config_ = config_;
   p.exec_ = exec_;
   p.log_ = log;
 
   // 1. Ordering.
-  if (config_.ordering == Ordering::kMulticolor) {
-    if (classes.num_classes() == 0) {
-      throw std::invalid_argument(
-          "Solver: multicolor ordering needs colour classes");
+  {
+    const obs::Span coloring_span("coloring");
+    if (config_.ordering == Ordering::kMulticolor) {
+      if (classes.num_classes() == 0) {
+        throw std::invalid_argument(
+            "Solver: multicolor ordering needs colour classes");
+      }
+      p.cs_ = std::make_unique<color::ColoredSystem>(
+          color::make_colored_system(k, classes));
+      p.matrix_ = &p.cs_->matrix;
+      p.stats_ = stats_from(*p.cs_);
+    } else {
+      p.matrix_ = &k;
     }
-    p.cs_ = std::make_unique<color::ColoredSystem>(
-        color::make_colored_system(k, classes));
-    p.matrix_ = &p.cs_->matrix;
-    p.stats_ = stats_from(*p.cs_);
-  } else {
-    p.matrix_ = &k;
   }
 
   // 2. Parameters and preconditioner (splitting via the registries).
-  if (config_.steps > 0) {
-    const auto& entry = SplittingRegistry::instance().at(config_.splitting);
-    p.interval_ = config_.interval
-                      ? *config_.interval
-                      : entry.default_interval(*p.matrix_,
-                                               config_.splitting_options);
-    p.alphas_ = ParamStrategyRegistry::instance().alphas(
-        config_.params, config_.steps, p.interval_);
+  {
+    const obs::Span params_span("params");
+    if (config_.steps > 0) {
+      const auto& entry = SplittingRegistry::instance().at(config_.splitting);
+      p.interval_ = config_.interval
+                        ? *config_.interval
+                        : entry.default_interval(*p.matrix_,
+                                                 config_.splitting_options);
+      p.alphas_ = ParamStrategyRegistry::instance().alphas(
+          config_.params, config_.steps, p.interval_);
+    }
+    // kernel_exec() gates on threads >= 2: a pool that exists only for
+    // batch lanes leaves the single-solve path serial.  The factory is
+    // shared with the batch lanes, so a lane's operator is by construction
+    // the solve path's (m = 0 yields the identity).
+    auto choice = detail::make_preconditioner(
+        config_, p.cs_.get(), *p.matrix_, p.alphas_, log, p.kernel_exec());
+    p.splitting_ = std::move(choice.splitting);
+    p.precond_ = std::move(choice.precond);
   }
-  // kernel_exec() gates on threads >= 2: a pool that exists only for
-  // batch lanes leaves the single-solve path serial.  The factory is
-  // shared with the batch lanes, so a lane's operator is by construction
-  // the solve path's (m = 0 yields the identity).
-  auto choice = detail::make_preconditioner(
-      config_, p.cs_.get(), *p.matrix_, p.alphas_, log, p.kernel_exec());
-  p.splitting_ = std::move(choice.splitting);
-  p.precond_ = std::move(choice.precond);
 
   // 3. Operator view for the outer CG products.  `auto` is resolved HERE,
   // on the matrix PCG actually iterates on (the colour-permuted one when
@@ -160,6 +168,7 @@ Prepared Solver::prepare(const la::CsrMatrix& k,
   // the sliced one when the matrix is banded enough to fill it, and SELL
   // catches the irregular-but-dense-rows middle ground before the CSR
   // fallback.
+  const obs::Span probe_span("format_probe");
   p.resolved_format_ = config_.format;
   if (p.resolved_format_ == MatrixFormat::kAuto) {
     if (la::DiaMatrix::profitable(*p.matrix_)) {

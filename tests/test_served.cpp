@@ -217,6 +217,61 @@ TEST(Served, MetricsDocumentCountsTraffic) {
   EXPECT_EQ(metrics_field(direct.str(), "solve"), 2);
 }
 
+TEST(Served, TracedRequestRoundTripsACorrelatedTrace) {
+  const std::string sock = sock_path("trace");
+  ServedServer daemon(unix_options(sock));
+  Client client = Client::connect("unix:" + sock);
+
+  SolveRequest request;
+  request.source = MatrixSource::kCatalog;
+  request.problem = "poisson2d:n=12";
+  request.config = "splitting=ssor;m=2";
+  request.want_trace = true;
+
+  const SolveResponse traced = client.solve(request);
+  ASSERT_EQ(traced.retcode, Retcode::kOk) << traced.message;
+  EXPECT_GT(traced.request_id, 0u);
+  ASSERT_FALSE(traced.trace.empty());
+  // The server-side phases and the solver's own spans are all present...
+  for (const char* span : {"\"request\"", "\"setup\"", "\"prepare\"",
+                           "\"solve\"", "\"iteration\"", "\"sweep\""}) {
+    EXPECT_NE(traced.trace.find(span), std::string::npos) << span;
+  }
+  // ...and every span carries THIS request's id: the correlation tag
+  // appears, and no other id does (count the generic key vs the exact
+  // pair — per-request extraction must not leak neighbours' spans).
+  const std::string key = "\"correlation\": ";
+  const std::string tag = key + std::to_string(traced.request_id);
+  std::size_t keys = 0, tags = 0;
+  for (std::size_t pos = traced.trace.find(key); pos != std::string::npos;
+       pos = traced.trace.find(key, pos + 1)) {
+    ++keys;
+  }
+  for (std::size_t pos = traced.trace.find(tag); pos != std::string::npos;
+       pos = traced.trace.find(tag, pos + 1)) {
+    ++tags;
+  }
+  EXPECT_GT(keys, 0u);
+  EXPECT_EQ(keys, tags);
+
+  // An untraced repeat: fresh id, no trace payload, and — the bitwise
+  // guarantee over the wire — identical solution bits.
+  request.want_trace = false;
+  const SolveResponse untraced = client.solve(request);
+  ASSERT_EQ(untraced.retcode, Retcode::kOk) << untraced.message;
+  EXPECT_TRUE(untraced.trace.empty());
+  EXPECT_GT(untraced.request_id, traced.request_id);
+  EXPECT_EQ(untraced.results, traced.results);
+
+  // The metrics document carries the per-phase setup histogram: exactly
+  // one cold preparation was timed.
+  const StatusResponse status = client.metrics();
+  ASSERT_EQ(status.retcode, Retcode::kOk);
+  const auto pos = status.body.find("\"latency_setup_seconds\"");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_EQ(metrics_field(status.body.substr(pos), "count"), 1);
+}
+
 TEST(Served, BusySheddingIsDeterministicAtInflightOne) {
   const std::string sock = sock_path("busy");
   ServerOptions options = unix_options(sock);

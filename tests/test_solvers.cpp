@@ -374,7 +374,8 @@ TEST(Pcg, RecordsHistoryWhenAsked) {
   opt.record_history = true;
   const auto res = cg_solve(p.k, p.f, opt);
   EXPECT_EQ(static_cast<int>(res.history.size()), res.iterations);
-  EXPECT_LT(res.history.back(), opt.tolerance);
+  EXPECT_LT(res.history.back().value, opt.tolerance);
+  for (const auto& rec : res.history) EXPECT_GE(rec.seconds, 0.0);
 }
 
 TEST(Pcg, ResidualStopRuleWorks) {

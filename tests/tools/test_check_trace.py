@@ -1,0 +1,170 @@
+"""check_trace.py: trace-schema validation on hand-built documents.
+
+The fixtures mirror what src/obs emits: complete events recorded at
+span CLOSE (so a child precedes its parent in the file), one track per
+tid, thread_name metadata events, and a counters/dropped_events
+footer.
+"""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+sys.path.insert(0, os.path.join(REPO, "tools"))
+
+import check_trace  # noqa: E402
+
+
+def span(name, ts, dur, tid=1, correlation=None):
+    e = {"name": name, "ph": "X", "ts": ts, "dur": dur, "pid": 1, "tid": tid}
+    if correlation is not None:
+        e["args"] = {"correlation": correlation}
+    return e
+
+
+def thread_name(tid, label):
+    return {"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+            "args": {"name": label}}
+
+
+def document(events, **extra):
+    doc = {"traceEvents": events, "displayTimeUnit": "ms",
+           "counters": {"flops": 120}, "dropped_events": 0}
+    doc.update(extra)
+    return doc
+
+
+def run_main(doc, *argv):
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as f:
+        json.dump(doc, f)
+        path = f.name
+    out, err = io.StringIO(), io.StringIO()
+    try:
+        with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+            try:
+                code = check_trace.main([path, *argv])
+            except SystemExit as e:
+                code = e.code
+    finally:
+        os.unlink(path)
+    return code, out.getvalue(), err.getvalue()
+
+
+class CheckTraceTest(unittest.TestCase):
+    def nested_trace(self):
+        # Close order: iteration closes before solve, solve before the
+        # file ends; prepare ran first.  A second track has one sweep.
+        return document([
+            thread_name(1, "main"),
+            thread_name(2, "pool-1"),
+            span("prepare", 0, 100),
+            span("iteration", 110, 40),
+            span("iteration", 151, 39),
+            span("solve", 105, 90),
+            span("sweep", 120, 10, tid=2),
+        ])
+
+    def test_valid_nested_trace_passes(self):
+        code, out, err = run_main(self.nested_trace())
+        self.assertEqual(code, 0, err)
+        self.assertIn("5 span(s) on 2 track(s)", out)
+
+    def test_child_before_parent_is_the_expected_order(self):
+        # The writer records at close, so this IS the wire order; a
+        # parent enclosing earlier children must not be flagged.
+        code, _, err = run_main(document([
+            span("sweep", 10, 5),
+            span("sweep", 16, 5),
+            span("iteration", 8, 15),
+            span("solve", 0, 30),
+        ]))
+        self.assertEqual(code, 0, err)
+
+    def test_partial_overlap_fails(self):
+        code, _, err = run_main(document([
+            span("a", 0, 10),
+            span("b", 5, 20),  # starts inside a, ends outside: not nested
+        ]))
+        self.assertEqual(code, 1)
+        self.assertIn("without nesting", err)
+
+    def test_end_time_regression_fails(self):
+        code, _, err = run_main(document([
+            span("a", 50, 10),
+            span("b", 0, 5),  # closed earlier than a: bad file order
+        ]))
+        self.assertEqual(code, 1)
+        self.assertIn("goes backwards", err)
+
+    def test_tracks_are_independent(self):
+        # Overlapping spans on DIFFERENT tids are concurrency, not a
+        # nesting violation.
+        code, _, err = run_main(document([
+            span("a", 0, 10, tid=1),
+            span("b", 5, 20, tid=2),
+        ]))
+        self.assertEqual(code, 0, err)
+
+    def test_missing_trace_events_dies(self):
+        code, _, _ = run_main({"counters": {}, "dropped_events": 0})
+        self.assertEqual(code, 2)
+
+    def test_missing_counters_fails(self):
+        doc = document([span("a", 0, 1)])
+        del doc["counters"]
+        code, _, err = run_main(doc)
+        self.assertEqual(code, 1)
+        self.assertIn("counters", err)
+
+    def test_bad_ph_fails(self):
+        doc = document([{"name": "a", "ph": "B", "ts": 0, "dur": 1,
+                         "pid": 1, "tid": 1}])
+        code, _, err = run_main(doc)
+        self.assertEqual(code, 1)
+        self.assertIn("ph must be", err)
+
+    def test_negative_duration_fails(self):
+        code, _, err = run_main(document([span("a", 5, -1)]))
+        self.assertEqual(code, 1)
+        self.assertIn("'dur'", err)
+
+    def test_metadata_event_needs_thread_name(self):
+        doc = document([{"name": "process_name", "ph": "M", "pid": 1,
+                         "tid": 1, "args": {"name": "x"}}])
+        code, _, err = run_main(doc)
+        self.assertEqual(code, 1)
+        self.assertIn("thread_name", err)
+
+    def test_require_span(self):
+        trace = self.nested_trace()
+        code, _, err = run_main(trace, "--require-span", "prepare",
+                                "--require-span", "solve",
+                                "--require-span", "iteration",
+                                "--require-span", "sweep")
+        self.assertEqual(code, 0, err)
+        code, _, err = run_main(trace, "--require-span", "permute")
+        self.assertEqual(code, 1)
+        self.assertIn("permute", err)
+
+    def test_require_correlation(self):
+        tagged = document([span("solve", 5, 40, correlation=7),
+                           span("request", 0, 50, correlation=7)])
+        code, _, err = run_main(tagged, "--require-correlation", "7")
+        self.assertEqual(code, 0, err)
+        code, _, err = run_main(tagged, "--require-correlation", "8")
+        self.assertEqual(code, 1)
+        mixed = document([span("request", 0, 50, correlation=7),
+                          span("stray", 60, 5)])
+        code, _, err = run_main(mixed, "--require-correlation", "7")
+        self.assertEqual(code, 1)
+        self.assertIn("correlation", err)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -50,6 +50,9 @@ STUB_DRIVER = textwrap.dedent("""\
         "final_delta_inf": [1e-7],
         "rhs_errors": [""],
         "error_vs_exact": None,
+        "interval": {"lambda_min": 0.1, "lambda_max": 1.9},
+        "condition_proxy": 1.5,
+        "history": [{"value": 1e-7, "alpha": 0.9, "seconds": 0.001}],
     }
     with open(args["out"], "w") as f:
         json.dump(report, f)

@@ -62,6 +62,13 @@ REPORT_SCHEMA = {
     "final_delta_inf": (list,),
     "rhs_errors": (list,),
     "error_vs_exact": (int, float, type(None)),
+    # Spectrum estimate and the condition-number proxy kappa(M^-1 K); the
+    # proxy is null for m=0 (no alphas) or a non-positive eigenvalue map
+    # (+inf renders as null).  history is RHS 0's per-iteration record.
+    "interval.lambda_min": (int, float),
+    "interval.lambda_max": (int, float),
+    "condition_proxy": (int, float, type(None)),
+    "history": (list,),
 }
 
 # mstep_request --out: the client-side record of one served solve.
@@ -84,6 +91,7 @@ REQUEST_SCHEMA = {
     "solve_seconds": (int, float),
     "e2e_seconds": (int, float),
     "attempts": (int,),
+    "request_id": (int,),
 }
 
 # mstep_served metrics reply / --metrics-out snapshot (docs/protocol.md).
@@ -114,6 +122,11 @@ METRICS_SCHEMA = {
     "latency_request_seconds.max": (int, float),
     "latency_request_seconds.p50": (int, float),
     "latency_request_seconds.p99": (int, float),
+    "latency_setup_seconds.count": (int,),
+    "latency_setup_seconds.mean": (int, float),
+    "latency_setup_seconds.max": (int, float),
+    "latency_setup_seconds.p50": (int, float),
+    "latency_setup_seconds.p99": (int, float),
 }
 
 # One bench_served workload row (BENCH_served.json is an array of these).
@@ -149,6 +162,7 @@ CORPUS_ROW_SCHEMA = {
     "iterations": (int,),
     "converged": (bool,),
     "final_delta_inf": (int, float),
+    "condition_proxy": (int, float, type(None)),
     "setup_seconds": (int, float),
     "solve_seconds": (int, float),
 }

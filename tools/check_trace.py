@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Validate an mstep Chrome trace-event JSON file (docs/observability.md).
+
+CI's trace-smoke steps run mstep_solve/mstep_request with --trace, then
+feed the artifact through this script:
+
+    tools/check_trace.py trace.json \
+        --require-span prepare --require-span solve \
+        --require-span iteration --require-span sweep
+    tools/check_trace.py served_trace.json --require-correlation 1
+
+Checks, in order:
+
+  * the document is an object with a `traceEvents` array, a `counters`
+    object, and an integer `dropped_events` gauge;
+  * every event is a complete-duration event (ph "X": string name,
+    integer-ish ts >= 0 and dur >= 0, pid, tid) or a thread_name
+    metadata event (ph "M");
+  * per thread track, events appear in non-decreasing END-time order —
+    the writer records a span when it CLOSES, so file order is end-time
+    order whatever the ring buffers dropped;
+  * per thread track, spans nest strictly: any two spans are disjoint
+    or one contains the other (closed intervals — microsecond
+    truncation may make a child share its parent's boundary);
+  * --require-span NAME (repeatable): at least one span named NAME;
+  * --require-correlation ID: every span carries args.correlation == ID
+    (how the served round-trip proves request-id correlation).
+
+Exit codes: 0 ok, 1 validation failure, 2 usage or I/O error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def die(message):
+    print(message, file=sys.stderr)
+    sys.exit(2)
+
+
+def is_count(v):
+    """JSON integer (bool is an int subclass in Python — reject it)."""
+    return type(v) is int
+
+
+def is_num(v):
+    return type(v) in (int, float)
+
+
+def check_event(i, e, failures):
+    """Shape-check one traceEvents entry; returns its ph, or None."""
+    where = f"traceEvents[{i}]: "
+    if not isinstance(e, dict):
+        failures.append(f"{where}not a JSON object")
+        return None
+    ph = e.get("ph")
+    if ph not in ("X", "M"):
+        failures.append(f"{where}ph must be 'X' or 'M', got {ph!r}")
+        return None
+    if not isinstance(e.get("name"), str) or not e["name"]:
+        failures.append(f"{where}needs a non-empty string 'name'")
+        return None
+    for field in ("pid", "tid"):
+        if not is_count(e.get(field)):
+            failures.append(f"{where}'{field}' must be an integer")
+            return None
+    if ph == "M":
+        if e["name"] != "thread_name":
+            failures.append(
+                f"{where}metadata event must be 'thread_name', got "
+                f"'{e['name']}'")
+        if not isinstance(e.get("args", {}).get("name"), str):
+            failures.append(f"{where}thread_name needs args.name")
+        return "M"
+    for field in ("ts", "dur"):
+        if not is_num(e.get(field)) or e[field] < 0:
+            failures.append(f"{where}'{field}' must be a number >= 0")
+            return None
+    return "X"
+
+
+def check_track(tid, spans, failures):
+    """End-time monotonicity + strict nesting for one thread's spans.
+
+    File order is END-time order (spans are recorded when they close),
+    so children precede their parents.  The sweep keeps a stack of
+    already-closed spans: a later span either swallows the stack top
+    (its start is at or before the top's — containment, since its end
+    is no earlier), starts after the top ended (disjoint), or fails.
+    """
+    prev_end = None
+    stack = []  # (name, ts, end) of closed spans not yet contained
+    for i, e in spans:
+        where = f"traceEvents[{i}] (tid {tid}, '{e['name']}'): "
+        ts, end = e["ts"], e["ts"] + e["dur"]
+        if prev_end is not None and end < prev_end:
+            failures.append(
+                f"{where}end time {end} goes backwards (previous span on "
+                f"this track ended at {prev_end}); spans must be recorded "
+                f"in close order")
+        prev_end = max(end, prev_end or 0)
+        while stack and stack[-1][1] >= ts:
+            stack.pop()  # contained child of this span
+        if stack and stack[-1][2] > ts:
+            pname, pts, pend = stack[-1]
+            failures.append(
+                f"{where}[{ts}, {end}] overlaps '{pname}' "
+                f"[{pts}, {pend}] without nesting inside it")
+            continue
+        stack.append((e["name"], ts, end))
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace")
+    ap.add_argument("--require-span", action="append", default=[],
+                    metavar="NAME",
+                    help="at least one span named NAME (repeatable)")
+    ap.add_argument("--require-correlation", type=int, default=None,
+                    metavar="ID",
+                    help="every span must carry args.correlation == ID")
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.trace) as f:
+            document = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"check_trace: cannot read {args.trace}: {e}")
+
+    failures = []
+    if not isinstance(document, dict):
+        die(f"check_trace: {args.trace} is not a JSON object")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        die(f"check_trace: {args.trace} has no traceEvents array")
+    if not isinstance(document.get("counters"), dict):
+        failures.append("missing 'counters' object")
+    if not is_count(document.get("dropped_events")):
+        failures.append("missing integer 'dropped_events'")
+
+    # Group the duration events by thread track, keeping file order: the
+    # tracer writes each buffer's spans in chronological close order.
+    tracks = {}
+    span_names = set()
+    for i, e in enumerate(events):
+        if check_event(i, e, failures) != "X":
+            continue
+        tracks.setdefault(e["tid"], []).append((i, e))
+        span_names.add(e["name"])
+        if args.require_correlation is not None:
+            got = e.get("args", {}).get("correlation")
+            if got != args.require_correlation:
+                failures.append(
+                    f"traceEvents[{i}]: correlation {got!r}, required "
+                    f"{args.require_correlation}")
+
+    for tid, spans in sorted(tracks.items()):
+        check_track(tid, spans, failures)
+
+    for name in args.require_span:
+        if name not in span_names:
+            failures.append(f"no span named '{name}' "
+                            f"(saw: {sorted(span_names) or 'none'})")
+
+    nspans = sum(len(s) for s in tracks.values())
+    print(f"check_trace: {nspans} span(s) on {len(tracks)} track(s), "
+          f"{len(args.require_span)} required name(s), "
+          f"{len(failures)} failure(s) ({args.trace})")
+    for f in failures:
+        print(f"  FAIL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -70,6 +70,11 @@ int print_help() {
       "output:\n"
       "  --out=<path>       write the JSON reply report (or, with\n"
       "                     --metrics, the metrics document)\n"
+      "  --trace=<path>     ask the daemon to trace this request and write\n"
+      "                     the returned Chrome trace-event JSON (spans\n"
+      "                     carry the reply's request_id as correlation;\n"
+      "                     load in Perfetto, validate with\n"
+      "                     tools/check_trace.py)\n"
       "  --expect-cache=<v> exit 1 unless the reply's cache verdict is\n"
       "                     <v> (hit | miss)\n"
       "  --help             this text\n"
@@ -97,7 +102,7 @@ int main(int argc, char** argv) {
         "connect", "timeout-ms", "retries",     "backoff-ms",
         "problem", "matrix",     "rhs",         "fingerprint",
         "nrhs",    "metrics",    "shutdown",    "out",
-        "expect-cache", "help"};
+        "expect-cache", "trace", "help"};
     for (const auto& f : solver::SolverConfig::cli_flags()) {
       allowed.push_back(f);
     }
@@ -196,6 +201,8 @@ int main(int argc, char** argv) {
       }
     }
     request.config = solver::SolverConfig::from_cli(cli).to_string();
+    const std::string trace_path = cli.get("trace", "");
+    request.want_trace = !trace_path.empty();
 
     util::Timer e2e;
     int attempts = 0;
@@ -234,7 +241,8 @@ int main(int argc, char** argv) {
               std::to_string(reply.results.size()) + " right-hand side(s)");
       std::cout << "setup " << reply.setup_seconds << " s, solve "
                 << reply.solve_seconds << " s, end-to-end " << e2e_seconds
-                << " s, attempts " << attempts << '\n';
+                << " s, attempts " << attempts << ", request id "
+                << reply.request_id << '\n';
     }
 
     if (!out_path.empty()) {
@@ -264,9 +272,25 @@ int main(int argc, char** argv) {
           .set("setup_seconds", reply.setup_seconds)
           .set("solve_seconds", reply.solve_seconds)
           .set("e2e_seconds", e2e_seconds)
-          .set("attempts", attempts);
+          .set("attempts", attempts)
+          .set("request_id", static_cast<long long>(reply.request_id));
       if (!write_out(out_path, j)) return 2;
       std::cout << "wrote " << out_path << '\n';
+    }
+
+    if (!trace_path.empty()) {
+      if (reply.trace.empty()) {
+        std::cerr << "mstep_request: server returned no trace\n";
+        return 1;
+      }
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::cerr << "mstep_request: cannot write " << trace_path << '\n';
+        return 2;
+      }
+      out << reply.trace << '\n';
+      std::cout << "wrote trace " << trace_path << " (request id "
+                << reply.request_id << ")\n";
     }
 
     const std::string expect = cli.get("expect-cache", "");

@@ -14,10 +14,12 @@
 //
 // Talk to it with mstep_request (one-shot client CLI) or serve::Client
 // (the library used by bench_served and the tests).
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "serve/server.hpp"
 #include "util/cli.hpp"
 
@@ -43,6 +45,10 @@ int print_help() {
       "                     (default 2 x hardware threads)\n"
       "  --metrics-out=<f>  write the final metrics snapshot here on\n"
       "                     graceful shutdown\n"
+      "  --trace=<f>        trace the whole daemon lifetime and write the\n"
+      "                     Chrome trace-event JSON here on graceful\n"
+      "                     shutdown (per-request tracing needs no server\n"
+      "                     flag: mstep_request --trace asks per request)\n"
       "  --verbose          per-request log lines on stderr\n"
       "  --help             this text\n"
       "\n"
@@ -58,7 +64,7 @@ int main(int argc, char** argv) {
   try {
     const util::Cli cli(argc, argv,
                         {"port", "host", "unix", "cache-mb", "max-inflight",
-                         "metrics-out", "verbose", "help"});
+                         "metrics-out", "trace", "verbose", "help"});
     if (cli.has("help")) return print_help();
 
     serve::ServerOptions options;
@@ -86,8 +92,22 @@ int main(int argc, char** argv) {
       std::cout << "mstep_served: listening on " << options.unix_path
                 << " (unix)\n";
     }
+    const std::string trace_path = cli.get("trace", "");
+    if (!trace_path.empty()) {
+      obs::Tracer::instance().set_enabled(true);
+      obs::name_thread("accept-loop");
+    }
     std::cout.flush();
     server.run();
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::cerr << "mstep_served: cannot write " << trace_path << '\n';
+        return 2;
+      }
+      out << obs::Tracer::instance().chrome_json() << '\n';
+      std::cout << "mstep_served: wrote trace " << trace_path << '\n';
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "mstep_served: " << e.what() << '\n';

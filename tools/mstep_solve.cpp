@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "io/matrix_market.hpp"
+#include "obs/trace.hpp"
 #include "problems/driver.hpp"
 #include "solver/solver.hpp"
 #include "util/cli.hpp"
@@ -97,6 +98,12 @@ int print_help() {
       "output:\n"
       "  --out=<path>       write the JSON report (schema: docs/file-formats.md,\n"
       "                     validated by tools/check_report.py)\n"
+      "  --trace=<path>     record a Chrome trace-event JSON profile of this\n"
+      "                     run (load in Perfetto / chrome://tracing; spans:\n"
+      "                     prepare, solve, iteration, sweep — one track per\n"
+      "                     thread; schema checked by tools/check_trace.py).\n"
+      "                     MSTEP_TRACE=on enables recording without a file\n"
+      "                     (see docs/observability.md)\n"
       "  --export-matrix=<path>  write the assembled system matrix in canonical\n"
       "                     Matrix Market form (symmetric storage, .gz\n"
       "                     compresses) — byte-stable, so sha256 pins it;\n"
@@ -119,13 +126,22 @@ int main(int argc, char** argv) {
     std::vector<std::string> allowed = {"problem", "matrix", "rhs",
                                         "nrhs",    "out",    "list",
                                         "help",    "export-matrix",
-                                        "export-only"};
+                                        "export-only", "trace"};
     for (const auto& f : solver::SolverConfig::cli_flags()) {
       allowed.push_back(f);
     }
     const util::Cli cli(argc, argv, std::move(allowed));
     if (cli.has("help")) return print_help();
     if (cli.has("list")) return list_registries();
+
+    const std::string trace_path = cli.get("trace", "");
+    if (!trace_path.empty()) {
+      // Turn the tracer on before any pipeline work so the prepare spans
+      // land in the ring buffers too.  Tracing never changes solution
+      // bits — only timers and thread-local buffers.
+      obs::Tracer::instance().set_enabled(true);
+      obs::name_thread("main");
+    }
 
     problems::DriverInput input;
     input.problem = cli.get("problem", "");
@@ -204,6 +220,15 @@ int main(int argc, char** argv) {
       }
       problems::report_json(r).dump(out);
       std::cout << "wrote " << out_path << '\n';
+    }
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::cerr << "mstep_solve: cannot write " << trace_path << '\n';
+        return 2;
+      }
+      out << obs::Tracer::instance().chrome_json() << '\n';
+      std::cout << "wrote trace " << trace_path << '\n';
     }
     return r.all_converged() ? 0 : 1;
   } catch (const std::exception& e) {

@@ -224,6 +224,10 @@ def main(argv):
                 "iterations": report["iterations"][0],
                 "converged": report["converged"],
                 "final_delta_inf": report["final_delta_inf"][0],
+                # kappa(M^-1 K) proxy from the fitted alphas over the
+                # spectrum estimate — how the paper reads iteration counts;
+                # null for m=0 or a degenerate eigenvalue map.
+                "condition_proxy": report.get("condition_proxy"),
                 "setup_seconds": best_setup,
                 "solve_seconds": best_solve,
             })
