@@ -139,7 +139,15 @@ std::vector<int> coordinate_strip_owner(const fem::TriMesh& mesh, int p) {
     if (mesh.node_x(a) != mesh.node_x(b)) {
       return mesh.node_x(a) < mesh.node_x(b);
     }
-    return mesh.node_y(a) < mesh.node_y(b);
+    if (mesh.node_y(a) != mesh.node_y(b)) {
+      return mesh.node_y(a) < mesh.node_y(b);
+    }
+    // Final tie-break on node id: two free nodes CAN share coordinates
+    // (an L-shape seam, a mesh stitched from two plates), and without a
+    // total order std::sort's ownership boundary would depend on the
+    // implementation's partition choices — the strip assignment must be
+    // deterministic because shard partitions and halo plans key off it.
+    return a < b;
   });
   std::vector<int> owner(mesh.num_nodes(), -1);
   const std::size_t total = free_nodes.size();

@@ -52,8 +52,12 @@ struct AssignmentStats {
     const Assignment& a, const fem::PlateMesh& mesh);
 
 /// Irregular-region distribution (Section 5): partition an unstructured
-/// mesh's unconstrained nodes into `p` equal-count buckets by (x, y)
-/// coordinate order — vertical strips on mesh-like node distributions.
+/// mesh's unconstrained nodes into `p` equal-count buckets by
+/// (x, y, node id) coordinate order — vertical strips on mesh-like node
+/// distributions.  The node-id tie-break makes the order TOTAL, so the
+/// ownership boundary between two coincident nodes (seams, stitched
+/// meshes) is deterministic across standard libraries — the shard
+/// partitioner and halo plans depend on this.
 /// Returns the owning processor per node (-1 for constrained nodes).
 [[nodiscard]] std::vector<int> coordinate_strip_owner(
     const fem::TriMesh& mesh, int p);

@@ -48,6 +48,10 @@ struct DriverResult {
   /// "sell") — `--format=auto` resolved through the bandedness/occupancy
   /// probes at prepare time; equal to the requested format otherwise.
   std::string format_selected = "csr";
+  /// Effective shard count of the region-sharded backend on the solves
+  /// that ran (requested `shards` after the widest-color-block clamp), or
+  /// 0 when the run was not sharded.
+  int shards = 0;
   solver::SolverConfig config;
   double setup_seconds = 0.0;  // prepare(): colouring + splitting + alphas
   solver::BatchReport batch;   // reports[i] belongs to right-hand side i

@@ -1,0 +1,112 @@
+#include "shard/halo.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace mstep::shard {
+
+namespace {
+
+// FNV-1a over the payload bytes — the same hash family the serve layer
+// uses for content fingerprints.
+std::uint64_t fnv1a(const std::vector<double>& payload) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const double v : payload) {
+    unsigned char bytes[sizeof(double)];
+    std::memcpy(bytes, &v, sizeof(double));
+    for (const unsigned char b : bytes) {
+      h ^= b;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+void GhostMailbox::post(const Vec& z, const std::vector<index_t>& rows) {
+  for (std::size_t k = 0; k < rows.size(); ++k) payload_[k] = z[rows[k]];
+  checksum_ = fnv1a(payload_);
+}
+
+void GhostMailbox::take(Vec& zloc, const std::vector<index_t>& rows,
+                        bool verify) const {
+  if (verify && fnv1a(payload_) != checksum_) {
+    throw std::runtime_error(
+        "GhostMailbox: checksum mismatch - ghost payload corrupted in "
+        "transit");
+  }
+  for (std::size_t k = 0; k < rows.size(); ++k) zloc[rows[k]] = payload_[k];
+}
+
+HaloPlan::HaloPlan(const color::ColoredSystem& cs, const ShardPlan& plan,
+                   const color::RowSplits& splits)
+    : num_shards_(plan.num_shards()), num_classes_(plan.num_classes()) {
+  if (cs.size() != plan.rows()) {
+    throw std::invalid_argument("HaloPlan: plan does not match system size");
+  }
+  const int nc = num_classes_;
+  const int ns = num_shards_;
+  const auto& rp = cs.matrix.row_ptr();
+  const auto& col = cs.matrix.col_idx();
+
+  // class_of by binary search over class_start.
+  const auto& cls_start = plan.class_start();
+  const auto class_of = [&](index_t row) {
+    return static_cast<int>(std::upper_bound(cls_start.begin() + 1,
+                                             cls_start.end(), row) -
+                            (cls_start.begin() + 1));
+  };
+
+  recv_.assign(static_cast<std::size_t>(ns) * ns * nc, {});
+  boundary_.assign(static_cast<std::size_t>(ns) * nc, {});
+
+  // Mark exactly the columns the sweep phases read: the lower split of
+  // every row, plus the upper split of rows outside the last class.
+  for (index_t i = 0; i < cs.size(); ++i) {
+    const int s = plan.owner_of(i);
+    const int ci = class_of(i);
+    const auto scan = [&](index_t from, index_t to) {
+      for (index_t k = from; k < to; ++k) {
+        const index_t j = col[k];
+        const int t = plan.owner_of(j);
+        if (t == s) continue;
+        recv_[index(s, t, class_of(j))].push_back(j);
+      }
+    };
+    scan(rp[i], splits.lo_end[i]);
+    if (ci != nc - 1) scan(splits.up_begin[i], rp[i + 1]);
+  }
+
+  for (auto& rows : recv_) {
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  }
+
+  // Sender-side view: owned rows that appear in anyone's recv list.
+  for (int from = 0; from < ns; ++from) {
+    for (int c = 0; c < nc; ++c) {
+      std::vector<index_t> rows;
+      for (int to = 0; to < ns; ++to) {
+        const auto& r = recv_[index(to, from, c)];
+        rows.insert(rows.end(), r.begin(), r.end());
+      }
+      std::sort(rows.begin(), rows.end());
+      rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+      boundary_[static_cast<std::size_t>(from) * nc + c] = std::move(rows);
+    }
+  }
+}
+
+std::size_t HaloPlan::ghost_count(int s) const {
+  std::size_t total = 0;
+  for (int from = 0; from < num_shards_; ++from) {
+    for (int c = 0; c < num_classes_; ++c) {
+      total += recv_[index(s, from, c)].size();
+    }
+  }
+  return total;
+}
+
+}  // namespace mstep::shard

@@ -11,6 +11,7 @@
 #include "core/params.hpp"
 #include "core/pcg.hpp"
 #include "fem/plane_stress.hpp"
+#include "fem/tri_mesh.hpp"
 #include "femsim/assignment.hpp"
 #include "femsim/dist_solver.hpp"
 #include "femsim/machine.hpp"
@@ -167,6 +168,52 @@ TEST(Assignment, Figure5FiveProcessorStripsAreBalanced) {
     EXPECT_EQ(cc[1], 2);
     EXPECT_EQ(cc[2], 2);
   }
+}
+
+// Two free nodes CAN share coordinates (a seam where two plates are
+// stitched, an L-shape's re-entrant corner duplicated by a mesh tool).
+// The strip order is (x, y, node id) — the id tie-break makes it TOTAL,
+// so the ownership boundary between coincident nodes never depends on
+// std::sort's partition choices: the lower node id always gets the lower
+// (or equal) strip.  Shard partitions and halo plans key off this
+// ownership, so it must be deterministic across standard libraries.
+TEST(Assignment, CoordinateStripTieBreaksOnNodeId) {
+  fem::TriMesh mesh;
+  // Four coincident free nodes at (0.5, 0.5) interleaved with distinct
+  // ones, plus a constrained node that must stay unassigned.
+  const index_t a = mesh.add_node(0.0, 0.0);
+  const index_t d0 = mesh.add_node(0.5, 0.5);
+  const index_t b = mesh.add_node(0.25, 0.75);
+  const index_t d1 = mesh.add_node(0.5, 0.5);
+  const index_t fixed = mesh.add_node(0.4, 0.4, /*constrained=*/true);
+  const index_t d2 = mesh.add_node(0.5, 0.5);
+  const index_t d3 = mesh.add_node(0.5, 0.5);
+  const index_t c = mesh.add_node(1.0, 0.25);
+  mesh.add_triangle(a, d0, b);
+  mesh.add_triangle(d0, b, d1);
+  mesh.add_triangle(d1, fixed, d2);
+  mesh.add_triangle(d2, d3, c);
+  mesh.finalize();
+
+  // 7 free nodes in (x, y, id) order: a, b, d0, d1, d2, d3, c — cut into
+  // 3 strips of sizes 3/2/2 by the k*p/total rule.  The boundary falls
+  // BETWEEN coincident nodes: only the id tie-break decides that d1 ends
+  // strip 0 and d2 starts strip 1, deterministically.
+  const auto owner = coordinate_strip_owner(mesh, 3);
+  EXPECT_EQ(owner[fixed], -1);
+  EXPECT_EQ(owner[a], 0);
+  EXPECT_EQ(owner[b], 0);
+  EXPECT_EQ(owner[d0], 0);
+  EXPECT_EQ(owner[d1], 1);
+  EXPECT_EQ(owner[d2], 1);
+  EXPECT_EQ(owner[d3], 2);
+  EXPECT_EQ(owner[c], 2);
+
+  // The duplicated group stays in ascending-strip order by id: the
+  // assignment is monotone in node id within a coordinate tie.
+  EXPECT_LE(owner[d0], owner[d1]);
+  EXPECT_LE(owner[d1], owner[d2]);
+  EXPECT_LE(owner[d2], owner[d3]);
 }
 
 TEST(Assignment, RejectsNonDividingCounts) {

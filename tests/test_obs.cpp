@@ -249,5 +249,54 @@ TEST_F(ObsTest, TracedSolveIsBitwiseIdenticalPerSplittingAndFormat) {
   }
 }
 
+// The sharded backend under the tracer: every shard phase body opens a
+// "shard" span and every ghost drain/post a "halo_exchange" span (on the
+// pool track that ran it, so nesting stays strict per track — the CI
+// check_trace.py smoke validates that on a real trace file), the halo
+// counters see the exchanged volume, and tracing a sharded solve still
+// never changes bits.
+TEST_F(ObsTest, TracedShardedSolveIsBitwiseIdenticalAndEmitsShardSpans) {
+  const problems::Problem p =
+      problems::ProblemRegistry::instance().create("poisson2d:n=12");
+  ASSERT_TRUE(p.has_classes());
+  solver::SolverConfig cfg;
+  cfg.steps = 2;
+  cfg.tolerance = 1e-8;
+  cfg.execution.shards = 3;
+
+  Tracer::instance().reset();
+  Tracer::instance().set_enabled(false);
+  const auto plain = solver::Solver::from_config(cfg)
+                         .prepare(p.matrix, p.classes)
+                         .solve(p.rhs);
+  ASSERT_TRUE(plain.converged());
+  ASSERT_EQ(plain.shards, 3);
+
+  Tracer::instance().set_enabled(true);
+  const auto traced = solver::Solver::from_config(cfg)
+                          .prepare(p.matrix, p.classes)
+                          .solve(p.rhs);
+  Tracer::instance().set_enabled(false);
+  ASSERT_TRUE(traced.converged());
+  ASSERT_EQ(traced.shards, 3);
+
+  ASSERT_EQ(plain.iterations(), traced.iterations());
+  ASSERT_EQ(plain.result.final_delta_inf, traced.result.final_delta_inf);
+  ASSERT_EQ(plain.solution.size(), traced.solution.size());
+  for (std::size_t i = 0; i < plain.solution.size(); ++i) {
+    ASSERT_EQ(plain.solution[i], traced.solution[i]) << "i=" << i;
+  }
+
+  const std::string json = Tracer::instance().chrome_json();
+  EXPECT_NE(json.find("\"shard\""), std::string::npos);
+  EXPECT_NE(json.find("\"halo_exchange\""), std::string::npos);
+  EXPECT_NE(json.find("\"sweep\""), std::string::npos);
+  // The red/black grid has cross-shard coupling everywhere: real ghost
+  // traffic must have been counted (and its volume in doubles).
+  EXPECT_GT(Tracer::instance().counter(Counter::kHaloExchanges), 0);
+  EXPECT_GT(Tracer::instance().counter(Counter::kHaloDoubles),
+            Tracer::instance().counter(Counter::kHaloExchanges));
+}
+
 }  // namespace
 }  // namespace mstep::obs

@@ -1,0 +1,210 @@
+// The sharded execution backend's headline guarantee: a region-sharded
+// solve is BITWISE identical to the serial solve for every registered
+// splitting x operator format x shard count x thread count — including a
+// shard count that does not divide the class sizes and one that exceeds
+// the widest color block (graceful clamp, observable in the report).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "problems/problem.hpp"
+#include "shard/partition.hpp"
+#include "solver/solver.hpp"
+#include "util/rng.hpp"
+
+namespace mstep::solver {
+namespace {
+
+void expect_bitwise_equal(const SolveReport& serial, const SolveReport& sharded,
+                          const std::string& what) {
+  ASSERT_TRUE(serial.converged()) << what;
+  ASSERT_TRUE(sharded.converged()) << what;
+  ASSERT_EQ(serial.iterations(), sharded.iterations()) << what;
+  ASSERT_EQ(serial.result.final_delta_inf, sharded.result.final_delta_inf)
+      << what;
+  ASSERT_EQ(serial.result.inner_products, sharded.result.inner_products)
+      << what;
+  ASSERT_EQ(serial.solution.size(), sharded.solution.size()) << what;
+  for (std::size_t i = 0; i < serial.solution.size(); ++i) {
+    ASSERT_EQ(serial.solution[i], sharded.solution[i]) << what << " i=" << i;
+  }
+}
+
+// ---- the ISSUE-level guarantee ----------------------------------------------
+
+// Every registered splitting x {csr, dia, sell} x shards {1, 2, 4, 7} x
+// threads {1, 4} produces the serial bits.  The grid is deliberately
+// coprime with the shard counts (12^2 = 144 rows, 7 shards), so strips of
+// unequal length and per-class remainders are always exercised; reports
+// must agree on the pipeline choices (iterations, format) too.
+TEST(ShardedSolve, EverySplittingFormatShardsThreadsMatchesSerialBitwise) {
+  const problems::Problem p =
+      problems::ProblemRegistry::instance().create("poisson2d:n=12");
+  ASSERT_TRUE(p.has_classes());
+
+  for (const auto& splitting : SplittingRegistry::instance().names()) {
+    for (const MatrixFormat format :
+         {MatrixFormat::kCsr, MatrixFormat::kDia, MatrixFormat::kSell}) {
+      SolverConfig base;
+      base.splitting = splitting;
+      base.steps = 2;
+      base.format = format;
+      base.tolerance = 1e-8;
+
+      const auto serial_report =
+          Solver::from_config(base).prepare(p.matrix, p.classes).solve(p.rhs);
+
+      for (const int shards : {1, 2, 4, 7}) {
+        for (const int threads : {1, 4}) {
+          SolverConfig cfg = base;
+          cfg.execution.shards = shards;
+          cfg.execution.threads = threads;
+          const std::string what = splitting + "/" + to_string(format) +
+                                   "/shards=" + std::to_string(shards) +
+                                   "/threads=" + std::to_string(threads);
+
+          const auto prepared =
+              Solver::from_config(cfg).prepare(p.matrix, p.classes);
+          const auto report = prepared.solve(p.rhs);
+          expect_bitwise_equal(serial_report, report, what);
+          ASSERT_EQ(report.format_selected, serial_report.format_selected)
+              << what;
+          // shards in {0, 1} never engages the backend; 2+ does here (the
+          // widest color block of the 144-row red/black system is far
+          // wider than 7).
+          ASSERT_EQ(report.shards, shards >= 2 ? shards : 0) << what;
+        }
+      }
+    }
+  }
+}
+
+// A shard count that exceeds the widest color block clamps to it — no
+// empty shard, no throw — and the report records the EFFECTIVE count,
+// equal to what ShardPlan::build decides.
+TEST(ShardedSolve, ShardCountExceedingColorBlocksClampsGracefully) {
+  const problems::Problem p =
+      problems::ProblemRegistry::instance().create("poisson2d:n=3");
+  ASSERT_TRUE(p.has_classes());  // 9 rows, red/black: widest block is 5
+
+  SolverConfig cfg;
+  cfg.steps = 2;
+  cfg.tolerance = 1e-10;
+  cfg.execution.shards = 64;
+
+  const auto prepared = Solver::from_config(cfg).prepare(p.matrix, p.classes);
+  const auto report = prepared.solve(p.rhs);
+  ASSERT_TRUE(report.converged());
+
+  // The plan itself is the authority on the clamp.
+  const auto cs = color::make_colored_system(p.matrix, p.classes);
+  const auto plan = shard::ShardPlan::build(cs.class_start, 64);
+  ASSERT_LT(plan.num_shards(), 64);
+  ASSERT_GE(plan.num_shards(), 2);
+  ASSERT_EQ(report.shards, plan.num_shards());
+  ASSERT_EQ(prepared.shards(), plan.num_shards());
+
+  SolverConfig plain;
+  plain.steps = cfg.steps;
+  plain.tolerance = cfg.tolerance;
+  const auto serial_report =
+      Solver::from_config(plain).prepare(p.matrix, p.classes).solve(p.rhs);
+  expect_bitwise_equal(serial_report, report, "clamped");
+}
+
+// Natural ordering has no color blocks to cut: the backend never engages
+// and the report says so, rather than throwing or silently mis-sharding.
+TEST(ShardedSolve, NaturalOrderingIsNeverSharded) {
+  const problems::Problem p =
+      problems::ProblemRegistry::instance().create("poisson2d:n=8");
+  SolverConfig cfg;
+  cfg.ordering = Ordering::kNatural;
+  cfg.steps = 2;
+  cfg.execution.shards = 4;
+  const auto report = Solver::from_config(cfg).solve(p.matrix, p.rhs);
+  ASSERT_TRUE(report.converged());
+  ASSERT_EQ(report.shards, 0);
+}
+
+// ---- batched interplay ------------------------------------------------------
+
+// With shards configured and the lane count left to the engine, the
+// shards win the pool: right-hand sides run sequentially, every one
+// sharded — and bitwise the serial batch.  An explicit wide batch
+// overrides: lanes win, solves run serial kernels, reports say shards=0.
+TEST(ShardedSolve, BatchedSolvesStayBitwiseAndReportEngagement) {
+  const problems::Problem p =
+      problems::ProblemRegistry::instance().create("poisson2d:n=12");
+
+  std::vector<Vec> bs;
+  bs.push_back(p.rhs);
+  util::Rng rng(7);
+  for (int j = 1; j < 4; ++j) bs.push_back(rng.uniform_vector(p.rhs.size()));
+
+  SolverConfig plain;
+  plain.steps = 2;
+  plain.tolerance = 1e-8;
+  const auto serial = Solver::from_config(plain).prepare(p.matrix, p.classes);
+  std::vector<SolveReport> expected;
+  for (const Vec& f : bs) expected.push_back(serial.solve(f));
+
+  SolverConfig cfg = plain;
+  cfg.execution.shards = 4;
+  const auto prepared = Solver::from_config(cfg).prepare(p.matrix, p.classes);
+
+  // Default lanes: sharded, sequential RHSs.
+  const auto sharded = prepared.solveMany(util::Span<const Vec>(bs));
+  ASSERT_EQ(sharded.concurrency, 1);
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    ASSERT_TRUE(sharded.ok(i));
+    expect_bitwise_equal(expected[i], sharded.reports[i],
+                         "sharded batch rhs " + std::to_string(i));
+    ASSERT_EQ(sharded.reports[i].shards, 4);
+  }
+
+  // Explicit lanes: batch wins, sharding disengages per-report.
+  BatchConfig wide;
+  wide.concurrency = 4;
+  const auto laned = prepared.solveMany(util::Span<const Vec>(bs), wide);
+  ASSERT_GT(laned.concurrency, 1);
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    ASSERT_TRUE(laned.ok(i));
+    expect_bitwise_equal(expected[i], laned.reports[i],
+                         "laned batch rhs " + std::to_string(i));
+    ASSERT_EQ(laned.reports[i].shards, 0);
+  }
+}
+
+// ---- config plumbing --------------------------------------------------------
+
+TEST(ShardedConfig, RoundTripsThroughStringAndCli) {
+  SolverConfig cfg;
+  cfg.execution.shards = 4;
+  cfg.execution.threads = 2;
+  const std::string text = cfg.to_string();
+  ASSERT_NE(text.find(";shards=4"), std::string::npos) << text;
+  const SolverConfig back = SolverConfig::from_string(text);
+  ASSERT_EQ(back.execution.shards, 4);
+  ASSERT_EQ(back, cfg);
+
+  // Not sharded (0 or 1) stays OFF the canonical string, so pre-shard
+  // config strings — and the daemon cache keys derived from them — are
+  // unchanged.
+  SolverConfig off;
+  off.execution.shards = 1;
+  ASSERT_EQ(off.to_string().find("shards"), std::string::npos);
+
+  const char* argv[] = {"prog", "--shards=3", "--m=2"};
+  const util::Cli cli(3, argv, SolverConfig::cli_flags());
+  const SolverConfig from_cli = SolverConfig::from_cli(cli);
+  ASSERT_EQ(from_cli.execution.shards, 3);
+  ASSERT_EQ(from_cli.steps, 2);
+
+  SolverConfig bad;
+  bad.execution.shards = -1;
+  ASSERT_THROW(bad.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mstep::solver

@@ -51,6 +51,7 @@ REPORT_SCHEMA = {
     "dia_friendly": (bool,),
     "used_classes": (bool,),
     "format_selected": (str,),
+    "shards": (int,),
     "config": (str,),
     "nrhs": (int,),
     "concurrency": (int,),
